@@ -1,0 +1,119 @@
+"""Exception hierarchy for the ftRMA reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so downstream
+users can catch a single base class.  The hierarchy mirrors the major
+subsystems: simulator, RMA runtime, fault-tolerance protocol and the
+reliability model.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# ---------------------------------------------------------------------------
+# Simulator errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Generic error in the virtual-time cluster simulator."""
+
+
+class TopologyError(SimulationError):
+    """Invalid failure-domain hierarchy or hardware description."""
+
+
+class PlacementError(SimulationError):
+    """A process-to-hardware mapping violates its constraints."""
+
+
+class FailureScheduleError(SimulationError):
+    """Malformed or inconsistent failure schedule."""
+
+
+class ProcessFailedError(SimulationError):
+    """An operation targeted a process that has failed (fail-stop).
+
+    The RMA runtime raises this when user code attempts to communicate with a
+    crashed rank before recovery has completed.  The fault-tolerance protocol
+    catches it to trigger recovery.
+    """
+
+    def __init__(self, rank: int, message: str | None = None) -> None:
+        self.rank = rank
+        super().__init__(message or f"process {rank} has failed (fail-stop)")
+
+
+# ---------------------------------------------------------------------------
+# RMA runtime errors
+# ---------------------------------------------------------------------------
+
+
+class RmaError(ReproError):
+    """Generic error in the RMA runtime."""
+
+
+class WindowError(RmaError):
+    """Invalid window access (out of bounds, wrong dtype, wrong rank)."""
+
+
+class EpochError(RmaError):
+    """Violation of epoch rules (e.g. checkpoint not at an epoch boundary)."""
+
+
+class LockError(RmaError):
+    """Lock/unlock misuse: double unlock, unlock without lock, deadlock."""
+
+
+class SynchronizationError(RmaError):
+    """Illegal mix of synchronization primitives (e.g. gsync inside a lock)."""
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerance protocol errors
+# ---------------------------------------------------------------------------
+
+
+class FaultToleranceError(ReproError):
+    """Generic error in the ftRMA protocol."""
+
+
+class CheckpointError(FaultToleranceError):
+    """A checkpoint could not be taken or restored."""
+
+
+class RecoveryError(FaultToleranceError):
+    """Causal recovery failed and no coordinated checkpoint is available."""
+
+
+class RecoveryFallback(FaultToleranceError):
+    """Causal recovery must fall back to the last coordinated checkpoint.
+
+    Raised internally when a recovering process observes ``N_q[p_f] = true``
+    (an un-replayable in-flight get) or ``M_q[p_f] = true`` (a combining put
+    that may be applied twice); see §3.2.3 and §4.2 of the paper.
+    """
+
+
+class CatastrophicFailure(FaultToleranceError):
+    """More than ``m`` processes of one group failed; the run must restart."""
+
+
+class ErasureCodingError(FaultToleranceError):
+    """Checksum encoding/decoding failed (XOR or Reed-Solomon)."""
+
+
+# ---------------------------------------------------------------------------
+# Reliability-model errors
+# ---------------------------------------------------------------------------
+
+
+class ReliabilityModelError(ReproError):
+    """Invalid parameters for the catastrophic-failure probability model."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was configured inconsistently."""

@@ -1,0 +1,347 @@
+"""RMA actions — the formal objects of the paper's model (§2.4).
+
+A *communication action* is the tuple of Eq. (1):
+
+``a = <type, src, trg, combine, EC, GC, SC, GNC, data>``
+
+and its *determinant* (Eq. 2) is the same tuple without the data.  A
+*synchronization action* is the tuple of Eq. (3):
+
+``b = <type, src, trg, EC, GC, SC, GNC, str>``.
+
+The counters are:
+
+* ``EC``  — Epoch Counter: epoch of the (src, trg) pair in which the action
+  was issued; orders actions of one origin towards one target (``co``).
+* ``GC``  — Get Counter: incremented at the origin on every flush it issues;
+  orders the origin's gets towards *different* targets (§4.1 B).
+* ``SC``  — Synchronization Counter: fetched-and-incremented at the target on
+  every lock acquisition; records the ``so`` order of lock-synchronized
+  accesses (§4.1 C).
+* ``GNC`` — GsyNc Counter: incremented at every process by each gsync; records
+  the global ``cohb`` order introduced by gsyncs (§4.1 E).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import RmaError
+
+__all__ = [
+    "ActionCategory",
+    "OpKind",
+    "SyncKind",
+    "AccumulateOp",
+    "Counters",
+    "CommAction",
+    "SyncAction",
+    "Determinant",
+    "apply_accumulate",
+]
+
+_SEQ = itertools.count()
+
+
+class ActionCategory(enum.Enum):
+    """The paper's coarse categorization (Table 1): put/get and four sync kinds."""
+
+    PUT = "put"
+    GET = "get"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    FLUSH = "flush"
+    GSYNC = "gsync"
+
+
+class OpKind(enum.Enum):
+    """Concrete communication operations offered by the runtime."""
+
+    PUT = "put"
+    GET = "get"
+    ACCUMULATE = "accumulate"
+    GET_ACCUMULATE = "get_accumulate"
+    FETCH_AND_OP = "fetch_and_op"
+    COMPARE_AND_SWAP = "compare_and_swap"
+
+    @property
+    def is_put_like(self) -> bool:
+        """Whether the operation transfers data *to* the target (a put)."""
+        return self in {
+            OpKind.PUT,
+            OpKind.ACCUMULATE,
+            OpKind.GET_ACCUMULATE,
+            OpKind.FETCH_AND_OP,
+            OpKind.COMPARE_AND_SWAP,
+        }
+
+    @property
+    def is_get_like(self) -> bool:
+        """Whether the operation transfers data *from* the target (a get).
+
+        Atomic read-modify-write operations are both puts and gets (Table 1).
+        """
+        return self in {
+            OpKind.GET,
+            OpKind.GET_ACCUMULATE,
+            OpKind.FETCH_AND_OP,
+            OpKind.COMPARE_AND_SWAP,
+        }
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether the operation is a remote atomic."""
+        return self in {
+            OpKind.ACCUMULATE,
+            OpKind.GET_ACCUMULATE,
+            OpKind.FETCH_AND_OP,
+            OpKind.COMPARE_AND_SWAP,
+        }
+
+
+class SyncKind(enum.Enum):
+    """Concrete synchronization operations offered by the runtime."""
+
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    FLUSH = "flush"
+    FLUSH_ALL = "flush_all"
+    GSYNC = "gsync"
+    BARRIER = "barrier"
+
+    @property
+    def category(self) -> ActionCategory:
+        """Map to the paper's four synchronization categories."""
+        if self in (SyncKind.FLUSH, SyncKind.FLUSH_ALL):
+            return ActionCategory.FLUSH
+        if self is SyncKind.LOCK:
+            return ActionCategory.LOCK
+        if self is SyncKind.UNLOCK:
+            return ActionCategory.UNLOCK
+        return ActionCategory.GSYNC
+
+    @property
+    def closes_epoch(self) -> bool:
+        """Whether this synchronization completes (commits) outstanding accesses."""
+        return self in (SyncKind.UNLOCK, SyncKind.FLUSH, SyncKind.FLUSH_ALL, SyncKind.GSYNC)
+
+
+class AccumulateOp(enum.Enum):
+    """Combining operators for accumulate-style puts."""
+
+    REPLACE = "replace"
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+    NO_OP = "no_op"  # used by fetch_and_op to implement an atomic read
+
+    @property
+    def combining(self) -> bool:
+        """True if the result depends on the previous target value.
+
+        The paper calls puts with this property *combining puts*; replaying
+        them twice corrupts the target (§4.2), hence the ``M`` flag.
+        """
+        return self not in (AccumulateOp.REPLACE, AccumulateOp.NO_OP)
+
+
+def apply_accumulate(
+    target: np.ndarray, operand: np.ndarray, op: AccumulateOp
+) -> np.ndarray:
+    """Apply ``op`` in place to ``target`` and return the *previous* values."""
+    previous = target.copy()
+    if op is AccumulateOp.REPLACE:
+        target[...] = operand
+    elif op is AccumulateOp.SUM:
+        target[...] = target + operand
+    elif op is AccumulateOp.PROD:
+        target[...] = target * operand
+    elif op is AccumulateOp.MIN:
+        target[...] = np.minimum(target, operand)
+    elif op is AccumulateOp.MAX:
+        target[...] = np.maximum(target, operand)
+    elif op is AccumulateOp.NO_OP:
+        pass
+    else:  # pragma: no cover - defensive
+        raise RmaError(f"unknown accumulate op {op!r}")
+    return previous
+
+
+@dataclass(frozen=True)
+class Counters:
+    """The recovery counters stamped on every action (Eq. 1 and 3)."""
+
+    ec: int = 0
+    gc: int = 0
+    sc: int = 0
+    gnc: int = 0
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """``(EC, GC, SC, GNC)``."""
+        return (self.ec, self.gc, self.sc, self.gnc)
+
+
+#: A determinant is the action without its data payload (Eq. 2); it is enough
+#: to reconstruct *ordering* information but not to replay the access.
+Determinant = tuple
+
+
+@dataclass
+class CommAction:
+    """A communication action (Eq. 1)."""
+
+    kind: OpKind
+    src: int
+    trg: int
+    window: str
+    offset: int
+    count: int
+    combine: bool
+    counters: Counters
+    op: AccumulateOp = AccumulateOp.REPLACE
+    #: Payload carried by the action: the data written (puts), or metadata of
+    #: the data read (gets).  ``None`` for pure gets until completed.
+    data: np.ndarray | None = None
+    #: Compare value of a compare-and-swap.
+    compare: np.ndarray | None = None
+    #: Unique, monotonically increasing issue id (program order within a run).
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.trg < 0:
+            raise RmaError("ranks must be non-negative")
+        if self.count <= 0:
+            raise RmaError("count must be positive")
+        if self.offset < 0:
+            raise RmaError("offset must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def category(self) -> ActionCategory:
+        """PUT or GET (atomics report PUT; use :attr:`is_get_like` for both)."""
+        return ActionCategory.PUT if self.kind.is_put_like else ActionCategory.GET
+
+    @property
+    def is_put_like(self) -> bool:
+        """Whether the action changes the target's memory."""
+        return self.kind.is_put_like
+
+    @property
+    def is_get_like(self) -> bool:
+        """Whether the action reads the target's memory into the source."""
+        return self.kind.is_get_like
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes moved over the network by this action."""
+        if self.data is not None:
+            return int(self.data.nbytes)
+        return self.count * 8  # conservative default: 8-byte elements
+
+    # Paper notation helpers -------------------------------------------------
+    @property
+    def EC(self) -> int:  # noqa: N802 - matches the paper's field name
+        """Epoch counter of the action."""
+        return self.counters.ec
+
+    @property
+    def GC(self) -> int:  # noqa: N802
+        """Get counter of the action."""
+        return self.counters.gc
+
+    @property
+    def SC(self) -> int:  # noqa: N802
+        """Synchronization counter of the action."""
+        return self.counters.sc
+
+    @property
+    def GNC(self) -> int:  # noqa: N802
+        """Gsync counter of the action."""
+        return self.counters.gnc
+
+    def determinant(self) -> Determinant:
+        """The determinant ``#a`` (Eq. 2): the action without its data."""
+        return (
+            self.kind.value,
+            self.src,
+            self.trg,
+            self.window,
+            self.offset,
+            self.count,
+            self.combine,
+            self.counters.as_tuple(),
+            self.seq,
+        )
+
+    def with_data(self, data: np.ndarray) -> "CommAction":
+        """Return a copy of the action carrying ``data`` as payload."""
+        return replace(self, data=np.array(data, copy=True))
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. ``put(3=>7)[off=0,n=4]``."""
+        arrow = "=>" if self.is_put_like else "<="
+        return (
+            f"{self.kind.value}({self.src}{arrow}{self.trg})"
+            f"[win={self.window},off={self.offset},n={self.count},"
+            f"EC={self.EC},GC={self.GC},SC={self.SC},GNC={self.GNC}]"
+        )
+
+
+@dataclass
+class SyncAction:
+    """A synchronization action (Eq. 3)."""
+
+    kind: SyncKind
+    src: int
+    #: Target rank; ``None`` encodes the paper's "diamond" (all processes).
+    trg: int | None
+    counters: Counters
+    #: Optional name of the structure being synchronized (the paper's ``str``).
+    structure: str | None = None
+    window: str | None = None
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+    @property
+    def category(self) -> ActionCategory:
+        """The paper's synchronization category."""
+        return self.kind.category
+
+    @property
+    def is_global(self) -> bool:
+        """Whether the action targets every process (gsync / barrier / flush_all)."""
+        return self.trg is None
+
+    def determinant(self) -> Determinant:
+        """Tuple form used by logs and tests."""
+        return (
+            self.kind.value,
+            self.src,
+            self.trg,
+            self.structure,
+            self.counters.as_tuple(),
+            self.seq,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description."""
+        target = "ALL" if self.trg is None else str(self.trg)
+        suffix = f", str={self.structure}" if self.structure else ""
+        return f"{self.kind.value}({self.src}->{target}{suffix})"
+
+
+def reset_sequence_counter(value: int = 0) -> None:
+    """Reset the global action sequence counter (test isolation helper)."""
+    global _SEQ
+    _SEQ = itertools.count(value)
+
+
+def _coerce_payload(data: Any) -> np.ndarray:
+    """Normalize a user payload to a contiguous numpy array copy."""
+    arr = np.ascontiguousarray(data)
+    return arr.copy()

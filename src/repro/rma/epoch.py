@@ -1,0 +1,89 @@
+"""Epoch tracking (§2.2).
+
+The period between two consecutive memory-consistency actions (flush, unlock,
+gsync) issued by process ``p`` towards the same target ``q`` is an *epoch*.
+Every such action closes the current epoch and opens a new one, i.e.
+increments ``E(p -> q)``.  A gsync is collective and increments the epochs of
+every pair at every process.
+
+Epochs induce the consistency order ``co``: actions issued by ``p`` towards
+``q`` in different epochs are ordered; actions within one epoch are not.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["EpochTracker", "EpochState"]
+
+
+@dataclass
+class EpochState:
+    """Epoch bookkeeping of a single origin process."""
+
+    #: ``E(p -> q)`` for every target ``q`` this process has communicated with.
+    epoch_of_target: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Outstanding (not yet completed) operations per target in the current epoch.
+    pending_ops: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: Total number of epochs this process has closed (any target).
+    epochs_closed: int = 0
+
+
+class EpochTracker:
+    """Tracks ``E(p -> q)`` and outstanding operations for all processes."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self._states = [EpochState() for _ in range(nprocs)]
+
+    def state(self, rank: int) -> EpochState:
+        """Epoch state of ``rank``."""
+        return self._states[rank]
+
+    def epoch(self, src: int, trg: int) -> int:
+        """Current epoch number ``E(src -> trg)``."""
+        return self._states[src].epoch_of_target[trg]
+
+    def record_access(self, src: int, trg: int) -> int:
+        """Note an outstanding access of ``src`` towards ``trg``; return its epoch."""
+        state = self._states[src]
+        state.pending_ops[trg] += 1
+        return state.epoch_of_target[trg]
+
+    def pending(self, src: int, trg: int | None = None) -> int:
+        """Outstanding operations of ``src`` towards ``trg`` (or all targets)."""
+        state = self._states[src]
+        if trg is not None:
+            return state.pending_ops[trg]
+        return sum(state.pending_ops.values())
+
+    def close_epoch(self, src: int, trg: int) -> int:
+        """Close the epoch ``src -> trg`` (flush or unlock) and return the new epoch."""
+        state = self._states[src]
+        state.epoch_of_target[trg] += 1
+        state.pending_ops[trg] = 0
+        state.epochs_closed += 1
+        return state.epoch_of_target[trg]
+
+    def close_all_epochs(self, src: int) -> None:
+        """Close every open epoch of ``src`` (flush_all)."""
+        state = self._states[src]
+        for trg in list(state.epoch_of_target):
+            state.epoch_of_target[trg] += 1
+        for trg in list(state.pending_ops):
+            state.pending_ops[trg] = 0
+        state.epochs_closed += 1
+
+    def close_global_epoch(self) -> None:
+        """Close all epochs at all processes (gsync)."""
+        for rank in range(self.nprocs):
+            self.close_all_epochs(rank)
+
+    def has_pending(self, src: int) -> bool:
+        """Whether ``src`` has any outstanding operation in an open epoch."""
+        return any(v > 0 for v in self._states[src].pending_ops.values())
+
+    def reset_rank(self, rank: int) -> None:
+        """Forget all epoch state of ``rank`` (its replacement starts fresh)."""
+        self._states[rank] = EpochState()

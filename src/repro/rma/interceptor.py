@@ -1,0 +1,119 @@
+"""Interceptor hooks — the simulator's analogue of the PMPI profiling interface.
+
+The paper's ftRMA library interposes on every RMA call through MPI's PMPI
+profiling interface (§6.1).  In the simulated runtime the same effect is
+achieved with *interceptors*: objects registered on the
+:class:`~repro.rma.runtime.RmaRuntime` whose hooks are invoked before and
+after every communication and synchronization action.
+
+Interceptors implement fault tolerance (ftRMA), the message-logging baseline,
+SCR-style checkpointing and instrumentation; applications never see them —
+logging and checkpointing are fully transparent, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.rma.actions import CommAction, SyncAction
+from repro.rma.window import Window
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.rma.runtime import RmaRuntime
+
+__all__ = ["RmaInterceptor", "InterceptorChain"]
+
+
+class RmaInterceptor:
+    """Base class with no-op hooks; subclasses override what they need."""
+
+    #: Human-readable name used in metrics and reports.
+    name: str = "interceptor"
+
+    def attach(self, runtime: "RmaRuntime") -> None:
+        """Called when the interceptor is registered on a runtime."""
+
+    # --- window lifecycle -------------------------------------------------
+    def on_window_create(self, window: Window) -> None:
+        """A new window was allocated collectively."""
+
+    # --- communication actions ---------------------------------------------
+    def before_comm(self, action: CommAction) -> None:
+        """Invoked right before a put/get/atomic is issued."""
+
+    def after_comm(self, action: CommAction) -> None:
+        """Invoked right after a put/get/atomic was issued (data staged)."""
+
+    # --- synchronization actions --------------------------------------------
+    def before_sync(self, action: SyncAction) -> None:
+        """Invoked right before a lock/unlock/flush/gsync/barrier."""
+
+    def after_sync(self, action: SyncAction) -> None:
+        """Invoked right after a lock/unlock/flush/gsync/barrier completed."""
+
+    # --- failures -----------------------------------------------------------
+    def on_failure_detected(self, rank: int) -> None:
+        """A fail-stop failure of ``rank`` has been observed."""
+
+    def on_respawn(self, rank: int) -> None:
+        """A replacement process for ``rank`` has been provided."""
+
+    # --- run lifecycle --------------------------------------------------------
+    def on_finalize(self) -> None:
+        """The application finished; flush statistics."""
+
+
+class InterceptorChain:
+    """Orders multiple interceptors and dispatches hooks to each of them."""
+
+    def __init__(self) -> None:
+        self._interceptors: list[RmaInterceptor] = []
+
+    def add(self, interceptor: RmaInterceptor, runtime: "RmaRuntime") -> None:
+        """Register ``interceptor`` and notify it of the runtime."""
+        self._interceptors.append(interceptor)
+        interceptor.attach(runtime)
+
+    def remove(self, interceptor: RmaInterceptor) -> None:
+        """Unregister ``interceptor`` (no error if absent)."""
+        if interceptor in self._interceptors:
+            self._interceptors.remove(interceptor)
+
+    def __iter__(self):
+        return iter(self._interceptors)
+
+    def __len__(self) -> int:
+        return len(self._interceptors)
+
+    # Dispatch helpers ------------------------------------------------------
+    def on_window_create(self, window: Window) -> None:
+        for i in self._interceptors:
+            i.on_window_create(window)
+
+    def before_comm(self, action: CommAction) -> None:
+        for i in self._interceptors:
+            i.before_comm(action)
+
+    def after_comm(self, action: CommAction) -> None:
+        for i in self._interceptors:
+            i.after_comm(action)
+
+    def before_sync(self, action: SyncAction) -> None:
+        for i in self._interceptors:
+            i.before_sync(action)
+
+    def after_sync(self, action: SyncAction) -> None:
+        for i in self._interceptors:
+            i.after_sync(action)
+
+    def on_failure_detected(self, rank: int) -> None:
+        for i in self._interceptors:
+            i.on_failure_detected(rank)
+
+    def on_respawn(self, rank: int) -> None:
+        for i in self._interceptors:
+            i.on_respawn(rank)
+
+    def on_finalize(self) -> None:
+        for i in self._interceptors:
+            i.on_finalize()

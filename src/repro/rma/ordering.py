@@ -1,0 +1,219 @@
+"""Recording and querying the RMA orders ``po``, ``so``, ``hb`` and ``co`` (§2.3).
+
+The runtime can optionally record every action into an :class:`OrderRecorder`.
+The recorder reconstructs:
+
+* the **program order** ``po`` — actions of one process in issue order;
+* the **synchronization order** ``so`` — lock/unlock (and gsync) ordering;
+* the **happened-before order** ``hb`` — transitive closure of ``po ∪ so``;
+* the **consistency order** ``co`` — actions of one origin towards one target
+  issued in different epochs, plus the global order introduced by gsyncs.
+
+These are used by the test-suite to verify the paper's theorems (RMA
+consistency of coordinated checkpoints, causal replay ordering) and by the
+consistency checker; recording is off by default because it retains every
+action of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from repro.rma.actions import CommAction, SyncAction, SyncKind
+
+__all__ = ["OrderRecorder", "RecordedEvent"]
+
+
+@dataclass(frozen=True)
+class RecordedEvent:
+    """A recorded action together with its issue index at its origin."""
+
+    index: int
+    action: CommAction | SyncAction
+
+    @property
+    def src(self) -> int:
+        """Origin rank of the event."""
+        return self.action.src
+
+    @property
+    def seq(self) -> int:
+        """Globally unique sequence number of the underlying action."""
+        return self.action.seq
+
+
+class OrderRecorder:
+    """Accumulates actions and answers ordering queries."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[RecordedEvent] = []
+        self._per_rank: dict[int, list[RecordedEvent]] = {}
+        #: lock acquisition order per (target, structure): list of event seqs.
+        self._lock_chains: dict[tuple[int, str | None], list[RecordedEvent]] = {}
+        #: events per gsync generation, used for the global gsync order.
+        self._gsync_generations: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, action: CommAction | SyncAction) -> None:
+        """Append one action to the recorded trace."""
+        if not self.enabled:
+            return
+        event = RecordedEvent(index=len(self.events), action=action)
+        self.events.append(event)
+        self._per_rank.setdefault(action.src, []).append(event)
+        if isinstance(action, SyncAction):
+            if action.kind in (SyncKind.LOCK, SyncKind.UNLOCK) and action.trg is not None:
+                key = (action.trg, action.structure)
+                self._lock_chains.setdefault(key, []).append(event)
+            if action.kind is SyncKind.GSYNC:
+                self._gsync_generations.append(event.seq)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self.events.clear()
+        self._per_rank.clear()
+        self._lock_chains.clear()
+        self._gsync_generations.clear()
+
+    # ------------------------------------------------------------------
+    # Simple accessors
+    # ------------------------------------------------------------------
+    def actions(self) -> list[CommAction]:
+        """All recorded communication actions, in global record order."""
+        return [e.action for e in self.events if isinstance(e.action, CommAction)]
+
+    def syncs(self) -> list[SyncAction]:
+        """All recorded synchronization actions, in global record order."""
+        return [e.action for e in self.events if isinstance(e.action, SyncAction)]
+
+    def per_rank(self, rank: int) -> list[CommAction | SyncAction]:
+        """Actions issued by ``rank``, in program order."""
+        return [e.action for e in self._per_rank.get(rank, [])]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+    def program_order(self, a: CommAction | SyncAction, b: CommAction | SyncAction) -> bool:
+        """``a po-> b``: same origin and ``a`` issued before ``b``."""
+        if a.src != b.src:
+            return False
+        return a.seq < b.seq
+
+    def consistency_order(self, a: CommAction, b: CommAction) -> bool:
+        """``a co-> b`` for two communication actions.
+
+        Holds when both actions have the same origin and target and ``a`` was
+        issued in an earlier epoch, or when they are separated by a gsync
+        generation (``a.GNC < b.GNC``).
+        """
+        if a.GNC < b.GNC:
+            return True
+        if a.src == b.src and a.trg == b.trg and a.EC < b.EC:
+            return True
+        return False
+
+    def concurrent_co(self, a: CommAction, b: CommAction) -> bool:
+        """``a ||co b``: neither ``a co-> b`` nor ``b co-> a``."""
+        return not self.consistency_order(a, b) and not self.consistency_order(b, a)
+
+    def synchronization_order(self, a: SyncAction, b: SyncAction) -> bool:
+        """``a so-> b`` for lock/unlock actions on the same target structure."""
+        if a.trg is None or b.trg is None:
+            return False
+        if (a.trg, a.structure) != (b.trg, b.structure):
+            return False
+        chain = self._lock_chains.get((a.trg, a.structure), [])
+        seqs = [e.seq for e in chain]
+        try:
+            return seqs.index(a.seq) < seqs.index(b.seq)
+        except ValueError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Happened-before graph
+    # ------------------------------------------------------------------
+    def build_hb_graph(self) -> nx.DiGraph:
+        """Build the happened-before DAG over all recorded events.
+
+        Edges: consecutive events of the same process (``po``), lock-chain
+        edges on the same target structure (``so``) and gsync edges (every
+        event before a gsync at any process happens-before every event after
+        it — the paper's optional global ``hb`` of gsync, §3.1.2).
+        """
+        graph = nx.DiGraph()
+        for event in self.events:
+            graph.add_node(event.seq, action=event.action)
+        # Program order
+        for rank_events in self._per_rank.values():
+            for earlier, later in zip(rank_events, rank_events[1:]):
+                graph.add_edge(earlier.seq, later.seq, order="po")
+        # Synchronization order (lock chains)
+        for chain in self._lock_chains.values():
+            for earlier, later in zip(chain, chain[1:]):
+                graph.add_edge(earlier.seq, later.seq, order="so")
+        # Gsync edges: connect the gsync events of one generation in sequence;
+        # po already links each process's surrounding events to its gsync call.
+        gsync_events = [e for e in self.events if isinstance(e.action, SyncAction)
+                        and e.action.kind is SyncKind.GSYNC]
+        by_generation: dict[int, list[RecordedEvent]] = {}
+        for event in gsync_events:
+            by_generation.setdefault(event.action.counters.gnc, []).append(event)
+        for generation in sorted(by_generation):
+            members = by_generation[generation]
+            # All members of a generation are mutually synchronized: model the
+            # collective as a virtual hub ordered after all members' po
+            # predecessors and before their successors by chaining them both ways.
+            for a in members:
+                for b in members:
+                    if a.seq != b.seq:
+                        graph.add_edge(a.seq, b.seq, order="gsync")
+        return graph
+
+    def happens_before(self, a: CommAction | SyncAction, b: CommAction | SyncAction) -> bool:
+        """``a hb-> b`` using the recorded trace (may be expensive)."""
+        graph = self.build_hb_graph()
+        if a.seq not in graph or b.seq not in graph:
+            return False
+        return nx.has_path(graph, a.seq, b.seq)
+
+    def concurrent_hb(self, a: CommAction | SyncAction, b: CommAction | SyncAction) -> bool:
+        """``a ||hb b``: no hb path either way."""
+        graph = self.build_hb_graph()
+        if a.seq not in graph or b.seq not in graph:
+            return True
+        return not nx.has_path(graph, a.seq, b.seq) and not nx.has_path(graph, b.seq, a.seq)
+
+    # ------------------------------------------------------------------
+    # Consistency-condition helpers (Definition 1)
+    # ------------------------------------------------------------------
+    def checkpoint_is_rma_consistent(
+        self, checkpoint_markers: Iterable[CommAction | SyncAction]
+    ) -> bool:
+        """Check Definition 1 on a set of per-process checkpoint marker events.
+
+        A coordinated checkpoint is RMA-consistent iff all its per-process
+        checkpoint actions are pairwise unordered by ``cohb`` (i.e. no marker
+        both happens-before and is consistency-ordered before another).
+        """
+        markers = list(checkpoint_markers)
+        graph = self.build_hb_graph()
+        for i, a in enumerate(markers):
+            for b in markers[i + 1 :]:
+                hb_ab = a.seq in graph and b.seq in graph and nx.has_path(graph, a.seq, b.seq)
+                hb_ba = a.seq in graph and b.seq in graph and nx.has_path(graph, b.seq, a.seq)
+                gnc_a = a.counters.gnc
+                gnc_b = b.counters.gnc
+                cohb_ab = hb_ab and gnc_a < gnc_b
+                cohb_ba = hb_ba and gnc_b < gnc_a
+                if cohb_ab or cohb_ba:
+                    return False
+        return True

@@ -1,0 +1,111 @@
+"""Operation categorization across RMA languages (the paper's Table 1).
+
+The table maps concrete operations of MPI-3 One Sided, UPC and Fortran 2008 to
+the categories of the formal model: ``put``, ``get``, ``lock``, ``unlock``,
+``gsync`` and ``flush``.  Atomic read-modify-write functions appear in both
+the put and the get row, exactly as in the paper.
+
+The mapping is used by :mod:`benchmarks.bench_table1_categorization` to
+regenerate the table and by tests that validate the runtime's own operations
+against their declared categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rma.actions import ActionCategory
+
+__all__ = ["OperationEntry", "TABLE1", "categories_of", "operations_in_category", "render_table1"]
+
+
+@dataclass(frozen=True)
+class OperationEntry:
+    """One operation of one RMA language and the categories it belongs to."""
+
+    language: str
+    operation: str
+    categories: tuple[ActionCategory, ...]
+    kind: str  # "comm." or "sync." — the table's left-hand grouping
+
+
+def _e(lang: str, op: str, cats: tuple[ActionCategory, ...], kind: str) -> OperationEntry:
+    return OperationEntry(language=lang, operation=op, categories=cats, kind=kind)
+
+
+_PUT = (ActionCategory.PUT,)
+_GET = (ActionCategory.GET,)
+_PUTGET = (ActionCategory.PUT, ActionCategory.GET)
+
+#: The full contents of Table 1.
+TABLE1: tuple[OperationEntry, ...] = (
+    # --- MPI-3 One Sided: communication -------------------------------------
+    _e("mpi3", "MPI_Put", _PUT, "comm."),
+    _e("mpi3", "MPI_Accumulate", _PUT, "comm."),
+    _e("mpi3", "MPI_Get", _GET, "comm."),
+    _e("mpi3", "MPI_Get_accumulate", _PUTGET, "comm."),
+    _e("mpi3", "MPI_Fetch_and_op", _PUTGET, "comm."),
+    _e("mpi3", "MPI_Compare_and_swap", _PUTGET, "comm."),
+    # --- MPI-3 One Sided: synchronization ------------------------------------
+    _e("mpi3", "MPI_Win_lock", (ActionCategory.LOCK,), "sync."),
+    _e("mpi3", "MPI_Win_lock_all", (ActionCategory.LOCK,), "sync."),
+    _e("mpi3", "MPI_Win_unlock", (ActionCategory.UNLOCK,), "sync."),
+    _e("mpi3", "MPI_Win_unlock_all", (ActionCategory.UNLOCK,), "sync."),
+    _e("mpi3", "MPI_Win_fence", (ActionCategory.GSYNC,), "sync."),
+    _e("mpi3", "MPI_Win_flush", (ActionCategory.FLUSH,), "sync."),
+    _e("mpi3", "MPI_Win_flush_all", (ActionCategory.FLUSH,), "sync."),
+    _e("mpi3", "MPI_Win_sync", (ActionCategory.FLUSH,), "sync."),
+    # --- UPC -----------------------------------------------------------------
+    _e("upc", "upc_memput", _PUT, "comm."),
+    _e("upc", "upc_memget", _GET, "comm."),
+    _e("upc", "upc_memcpy", _PUTGET, "comm."),
+    _e("upc", "upc_memset", _PUTGET, "comm."),
+    _e("upc", "assignment (=)", _PUTGET, "comm."),
+    _e("upc", "all UPC collectives", _PUTGET, "comm."),
+    _e("upc", "upc_lock", (ActionCategory.LOCK,), "sync."),
+    _e("upc", "upc_unlock", (ActionCategory.UNLOCK,), "sync."),
+    _e("upc", "upc_barrier", (ActionCategory.GSYNC,), "sync."),
+    _e("upc", "upc_fence", (ActionCategory.FLUSH,), "sync."),
+    # --- Fortran 2008 (coarrays) ----------------------------------------------
+    _e("fortran2008", "assignment (=)", _PUTGET, "comm."),
+    _e("fortran2008", "lock", (ActionCategory.LOCK,), "sync."),
+    _e("fortran2008", "unlock", (ActionCategory.UNLOCK,), "sync."),
+    _e("fortran2008", "sync_all", (ActionCategory.GSYNC,), "sync."),
+    _e("fortran2008", "sync_team", (ActionCategory.GSYNC,), "sync."),
+    _e("fortran2008", "sync_images", (ActionCategory.GSYNC,), "sync."),
+    _e("fortran2008", "sync_memory", (ActionCategory.FLUSH,), "sync."),
+)
+
+
+def categories_of(language: str, operation: str) -> tuple[ActionCategory, ...]:
+    """Categories of one named operation, or an empty tuple if unknown."""
+    for entry in TABLE1:
+        if entry.language == language and entry.operation == operation:
+            return entry.categories
+    return ()
+
+
+def operations_in_category(
+    category: ActionCategory, language: str | None = None
+) -> list[OperationEntry]:
+    """All operations belonging to ``category`` (optionally of one language)."""
+    return [
+        entry
+        for entry in TABLE1
+        if category in entry.categories
+        and (language is None or entry.language == language)
+    ]
+
+
+def render_table1() -> str:
+    """Render the categorization as a text table (one row per category)."""
+    languages = ("mpi3", "upc", "fortran2008")
+    lines = ["category    | " + " | ".join(f"{lang:^34}" for lang in languages)]
+    lines.append("-" * len(lines[0]))
+    for category in ActionCategory:
+        cells = []
+        for lang in languages:
+            ops = sorted({e.operation for e in operations_in_category(category, lang)})
+            cells.append(", ".join(ops) if ops else "-")
+        lines.append(f"{category.value:<11} | " + " | ".join(f"{c:<34}" for c in cells))
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""RMA windows — the shared memory regions of the model (§2).
+
+Following the paper's implementation section (§6) we assume each process
+exposes one (or more) contiguous regions of memory of equal size; in MPI-3
+terms every such region is a *window*.  In the simulator a window is simply a
+numpy array per rank, owned by the runtime, that remote processes read and
+write through :class:`~repro.rma.runtime.RmaRuntime`.
+
+A window buffer is *invalidated* when its owner fails (fail-stop: the memory
+content is lost) and *reallocated* when a replacement process is spawned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProcessFailedError, WindowError
+
+__all__ = ["Window", "WindowRegistry"]
+
+
+@dataclass
+class Window:
+    """One shared memory window replicated over all ranks."""
+
+    name: str
+    size: int
+    dtype: np.dtype
+    nprocs: int
+    buffers: dict[int, np.ndarray] = field(default_factory=dict)
+    _invalidated: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WindowError("window size must be positive")
+        if self.nprocs <= 0:
+            raise WindowError("window needs at least one process")
+        self.dtype = np.dtype(self.dtype)
+        for rank in range(self.nprocs):
+            if rank not in self.buffers:
+                self.buffers[rank] = np.zeros(self.size, dtype=self.dtype)
+
+    # ------------------------------------------------------------------
+    # Local access
+    # ------------------------------------------------------------------
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return int(self.dtype.itemsize)
+
+    @property
+    def nbytes_per_rank(self) -> int:
+        """Window size in bytes at each rank."""
+        return self.size * self.itemsize
+
+    def local(self, rank: int) -> np.ndarray:
+        """The full local buffer of ``rank`` (a view, not a copy)."""
+        self._check_rank(rank)
+        self._check_alive(rank)
+        return self.buffers[rank]
+
+    def read(self, rank: int, offset: int, count: int) -> np.ndarray:
+        """Copy ``count`` elements starting at ``offset`` from ``rank``'s buffer."""
+        self._check_range(rank, offset, count)
+        self._check_alive(rank)
+        return self.buffers[rank][offset : offset + count].copy()
+
+    def write(self, rank: int, offset: int, data: np.ndarray) -> None:
+        """Overwrite ``rank``'s buffer at ``offset`` with ``data``."""
+        data = np.asarray(data, dtype=self.dtype).ravel()
+        self._check_range(rank, offset, data.size)
+        self._check_alive(rank)
+        self.buffers[rank][offset : offset + data.size] = data
+
+    def view(self, rank: int, offset: int, count: int) -> np.ndarray:
+        """A mutable view into ``rank``'s buffer (used by atomics)."""
+        self._check_range(rank, offset, count)
+        self._check_alive(rank)
+        return self.buffers[rank][offset : offset + count]
+
+    def snapshot(self, rank: int) -> np.ndarray:
+        """A deep copy of ``rank``'s entire buffer (checkpoint payload)."""
+        self._check_rank(rank)
+        self._check_alive(rank)
+        return self.buffers[rank].copy()
+
+    def restore(self, rank: int, data: np.ndarray) -> None:
+        """Replace ``rank``'s entire buffer with checkpointed ``data``."""
+        data = np.asarray(data, dtype=self.dtype).ravel()
+        if data.size != self.size:
+            raise WindowError(
+                f"restore payload has {data.size} elements, window has {self.size}"
+            )
+        self._check_rank(rank)
+        # Restoring is allowed even while the rank is marked invalid: it is
+        # exactly how a replacement process re-populates its memory.
+        self.buffers[rank] = data.copy()
+        self._invalidated.discard(rank)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def invalidate(self, rank: int) -> None:
+        """Drop ``rank``'s buffer contents (its memory is lost on failure)."""
+        self._check_rank(rank)
+        self.buffers[rank] = np.zeros(self.size, dtype=self.dtype)
+        self._invalidated.add(rank)
+
+    def reallocate(self, rank: int) -> None:
+        """Give a replacement process a fresh zeroed buffer."""
+        self._check_rank(rank)
+        self.buffers[rank] = np.zeros(self.size, dtype=self.dtype)
+        self._invalidated.discard(rank)
+
+    def is_invalidated(self, rank: int) -> bool:
+        """Whether ``rank``'s buffer content has been lost and not restored."""
+        return rank in self._invalidated
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise WindowError(f"rank {rank} out of range 0..{self.nprocs - 1}")
+
+    def _check_alive(self, rank: int) -> None:
+        if rank in self._invalidated:
+            raise ProcessFailedError(
+                rank, f"window {self.name!r} at rank {rank} is invalidated (owner failed)"
+            )
+
+    def _check_range(self, rank: int, offset: int, count: int) -> None:
+        self._check_rank(rank)
+        if count <= 0:
+            raise WindowError("count must be positive")
+        if offset < 0 or offset + count > self.size:
+            raise WindowError(
+                f"access [{offset}, {offset + count}) out of bounds for window "
+                f"{self.name!r} of size {self.size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Window({self.name!r}, size={self.size}, dtype={self.dtype}, "
+            f"nprocs={self.nprocs})"
+        )
+
+
+class WindowRegistry:
+    """All windows created by a runtime, addressable by name."""
+
+    def __init__(self) -> None:
+        self._windows: dict[str, Window] = {}
+
+    def create(self, name: str, size: int, dtype: np.dtype, nprocs: int) -> Window:
+        """Create and register a new window."""
+        if name in self._windows:
+            raise WindowError(f"window {name!r} already exists")
+        window = Window(name=name, size=size, dtype=np.dtype(dtype), nprocs=nprocs)
+        self._windows[name] = window
+        return window
+
+    def get(self, name: str) -> Window:
+        """Look a window up by name."""
+        try:
+            return self._windows[name]
+        except KeyError as exc:
+            raise WindowError(f"unknown window {name!r}") from exc
+
+    def all(self) -> list[Window]:
+        """All registered windows."""
+        return list(self._windows.values())
+
+    def invalidate_rank(self, rank: int) -> None:
+        """Invalidate ``rank``'s buffers in every window (process failure)."""
+        for window in self._windows.values():
+            window.invalidate(rank)
+
+    def reallocate_rank(self, rank: int) -> None:
+        """Reallocate ``rank``'s buffers in every window (process respawn)."""
+        for window in self._windows.values():
+            window.reallocate(rank)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._windows
+
+    def __len__(self) -> int:
+        return len(self._windows)

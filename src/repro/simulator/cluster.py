@@ -1,0 +1,245 @@
+"""The simulated machine: processes, clocks, placement, failures.
+
+:class:`Cluster` is the substrate on which the RMA runtime
+(:mod:`repro.rma.runtime`) and the fault-tolerance protocols are built.  It
+knows nothing about RMA semantics — it only provides:
+
+* per-process virtual clocks and a cost model,
+* a failure-domain hierarchy with a process placement,
+* fail-stop failure injection and detection,
+* a metrics registry shared by all layers.
+
+Simulated applications are SPMD: the caller iterates over ranks and issues
+work on behalf of each of them; collective operations synchronize the clocks
+of the participants.  This keeps the simulation single-threaded and perfectly
+deterministic while still exposing per-process timing, which is all the
+paper's evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProcessFailedError, SimulationError
+from repro.simulator.costs import CostModel, cray_xe6_like
+from repro.simulator.failures import FailureInjector, FailureSchedule
+from repro.simulator.metrics import MetricsRegistry
+from repro.simulator.placement import Placement, block_placement
+from repro.simulator.timebase import ClockCollection, VirtualClock
+from repro.simulator.topology import FailureDomainHierarchy
+
+__all__ = ["Cluster", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Declarative description of a simulated machine and job.
+
+    Attributes
+    ----------
+    nprocs:
+        Number of MPI-like processes in the job.
+    procs_per_node:
+        Processes packed per compute node (block placement default).
+    fdh:
+        Failure-domain hierarchy; a flat single-level machine is built when
+        omitted.
+    cost_model:
+        Timing parameters; Cray-XE6-like defaults when omitted.
+    """
+
+    nprocs: int
+    procs_per_node: int = 32
+    fdh: FailureDomainHierarchy | None = None
+    cost_model: CostModel | None = None
+
+    def build(
+        self,
+        failure_schedule: FailureSchedule | None = None,
+        placement: Placement | None = None,
+    ) -> "Cluster":
+        """Instantiate a :class:`Cluster` from this configuration."""
+        nodes_needed = -(-self.nprocs // self.procs_per_node)
+        fdh = self.fdh or FailureDomainHierarchy.flat(max(1, nodes_needed))
+        if placement is None:
+            placement = block_placement(fdh, self.nprocs, self.procs_per_node)
+        return Cluster(
+            nprocs=self.nprocs,
+            placement=placement,
+            cost_model=self.cost_model or cray_xe6_like(),
+            failure_schedule=failure_schedule or FailureSchedule.none(),
+        )
+
+
+class Cluster:
+    """A running simulated job on a simulated machine."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        placement: Placement,
+        cost_model: CostModel | None = None,
+        failure_schedule: FailureSchedule | None = None,
+    ) -> None:
+        if nprocs <= 0:
+            raise SimulationError("nprocs must be positive")
+        if placement.nprocs != nprocs:
+            raise SimulationError(
+                f"placement covers {placement.nprocs} processes but nprocs={nprocs}"
+            )
+        self.nprocs = nprocs
+        self.placement = placement
+        self.fdh = placement.fdh
+        self.costs = cost_model or cray_xe6_like()
+        self.clocks = ClockCollection(nprocs)
+        self.metrics = MetricsRegistry()
+        self.injector = FailureInjector(failure_schedule or FailureSchedule.none(), placement)
+        #: Ranks that crashed and were later replaced; kept for reporting.
+        self.recovered_ranks: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def simple(
+        cls,
+        nprocs: int,
+        *,
+        procs_per_node: int = 32,
+        cost_model: CostModel | None = None,
+        failure_schedule: FailureSchedule | None = None,
+        fdh: FailureDomainHierarchy | None = None,
+    ) -> "Cluster":
+        """Build a cluster with block placement and sensible defaults."""
+        config = ClusterConfig(
+            nprocs=nprocs,
+            procs_per_node=procs_per_node,
+            fdh=fdh,
+            cost_model=cost_model,
+        )
+        return config.build(failure_schedule=failure_schedule)
+
+    # ------------------------------------------------------------------
+    # Clock operations
+    # ------------------------------------------------------------------
+    def clock(self, rank: int) -> VirtualClock:
+        """Virtual clock of ``rank``."""
+        self._check_rank(rank)
+        return self.clocks.clock(rank)
+
+    def now(self, rank: int) -> float:
+        """Current virtual time of ``rank``."""
+        return self.clock(rank).now
+
+    def advance(self, rank: int, dt: float, *, kind: str = "compute") -> float:
+        """Advance the clock of ``rank`` by ``dt`` seconds."""
+        return self.clock(rank).advance(dt, kind=kind)
+
+    def elapsed(self) -> float:
+        """Job makespan so far (max over all ranks)."""
+        return self.clocks.elapsed()
+
+    def barrier(self, ranks: list[int] | None = None, *, cost: float | None = None) -> float:
+        """Synchronize clocks of ``ranks`` (all alive ranks by default).
+
+        Returns the post-barrier time.  Failure detection happens here: any
+        scheduled failure whose time has passed fires before the barrier
+        completes, and if a *participant* has failed the barrier raises
+        :class:`ProcessFailedError` naming one failed participant (the caller —
+        typically the fault-tolerance layer — handles recovery).
+        """
+        if ranks is None:
+            ranks = self.alive_ranks()
+        participants = list(ranks)
+        if not participants:
+            raise SimulationError("barrier requires at least one participant")
+        if cost is None:
+            cost = self.costs.barrier(len(participants))
+        t = self.clocks.synchronize(participants, extra=cost)
+        self.check_failures(t)
+        dead = [r for r in participants if self.injector.is_failed(r)]
+        if dead:
+            raise ProcessFailedError(dead[0], f"barrier observed failed ranks {dead}")
+        return t
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    def check_failures(self, now: float | None = None) -> list[int]:
+        """Fire scheduled failures up to ``now`` and return newly dead ranks."""
+        if now is None:
+            now = self.elapsed()
+        newly = self.injector.newly_failed_ranks(now)
+        for rank in newly:
+            self.metrics.incr("cluster.failures", rank=rank)
+        return newly
+
+    def fail_rank(self, rank: int) -> None:
+        """Explicitly fail ``rank`` at its current virtual time.
+
+        Mostly used by tests and examples that want to crash a specific
+        process at a specific point of the program rather than relying on a
+        time-based :class:`~repro.simulator.failures.FailureSchedule`.
+        """
+        self._check_rank(rank)
+        self.injector._failed_ranks.add(rank)  # noqa: SLF001 - deliberate internal use
+        self.metrics.incr("cluster.failures", rank=rank)
+
+    def is_alive(self, rank: int) -> bool:
+        """Whether ``rank`` is currently alive."""
+        self._check_rank(rank)
+        return not self.injector.is_failed(rank)
+
+    def alive_ranks(self) -> list[int]:
+        """All currently alive ranks, in rank order."""
+        return [r for r in range(self.nprocs) if self.is_alive(r)]
+
+    def failed_ranks(self) -> list[int]:
+        """All currently failed (not yet replaced) ranks."""
+        return sorted(self.injector.failed_ranks)
+
+    def ensure_alive(self, rank: int) -> None:
+        """Raise :class:`ProcessFailedError` if ``rank`` is dead."""
+        if not self.is_alive(rank):
+            raise ProcessFailedError(rank)
+
+    def respawn_rank(self, rank: int, *, reset_clock: bool = False) -> None:
+        """Replace a failed rank with a fresh process ``p_new``.
+
+        The paper assumes an underlying batch system that provides a new
+        process in place of the failed one (§4.3).  The replacement inherits
+        the rank number; its clock either continues from the current job time
+        (default — the replacement starts "now") or is reset to zero.
+        """
+        self._check_rank(rank)
+        if self.is_alive(rank):
+            raise SimulationError(f"rank {rank} is alive; nothing to respawn")
+        self.injector.revive(rank)
+        self.recovered_ranks.append(rank)
+        if reset_clock:
+            self.clocks.reset_rank(rank)
+        else:
+            # The new process becomes available at the current makespan.
+            self.clock(rank).synchronize_to(self.elapsed())
+        self.metrics.incr("cluster.respawns", rank=rank)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        """Compute-node index of ``rank``."""
+        return self.placement.node(rank)
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks share a compute node."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise SimulationError(f"rank {rank} out of range 0..{self.nprocs - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(nprocs={self.nprocs}, nodes={self.fdh.num_nodes}, "
+            f"costs={self.costs.name!r}, failed={len(self.failed_ranks())})"
+        )

@@ -1,0 +1,229 @@
+"""Fail-stop failure injection.
+
+The paper assumes *fail-stop* faults: a process disappears nondeterministically
+but behaves correctly until it does (§2.4).  In the simulator a failure is an
+event ``(time, level, element_index)`` — when the virtual time of the job
+passes ``time``, every process placed under that failure-domain element is
+marked dead.  A process-level failure is expressed as a level-0 event carrying
+the rank directly.
+
+Failure schedules can be written by hand (deterministic injection for tests
+and examples) or drawn from per-level exponential rates (for resilience
+studies), mirroring the exponential distributions the paper fits to the
+TSUBAME2.0 failure history (§7.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FailureScheduleError
+from repro.simulator.placement import Placement
+from repro.simulator.rng import make_rng
+
+__all__ = ["FailureEvent", "FailureSchedule", "FailureInjector", "exponential_schedule"]
+
+#: Pseudo-level used for failures that target a single process (rank) directly.
+PROCESS_LEVEL = 0
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """One fail-stop event.
+
+    Attributes
+    ----------
+    time:
+        Virtual time (seconds) at which the element fails.
+    level:
+        FDH level of the failing element; ``0`` means a single process.
+    index:
+        Element index at that level, or the rank if ``level == 0``.
+    """
+
+    time: float
+    level: int
+    index: int
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        target = f"rank {self.index}" if self.level == PROCESS_LEVEL else (
+            f"level-{self.level} element {self.index}"
+        )
+        return f"t={self.time:.6f}s: failure of {target}"
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered collection of :class:`FailureEvent`."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            self._validate(ev)
+        self.events.sort()
+
+    @staticmethod
+    def _validate(event: FailureEvent) -> None:
+        if event.time < 0:
+            raise FailureScheduleError(f"failure time must be non-negative: {event}")
+        if event.level < 0 or event.index < 0:
+            raise FailureScheduleError(f"failure level/index must be non-negative: {event}")
+
+    # Convenience constructors -------------------------------------------------
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """A schedule with no failures (fault-free runs)."""
+        return cls([])
+
+    @classmethod
+    def single_rank(cls, rank: int, time: float) -> "FailureSchedule":
+        """Fail a single process at ``time``."""
+        return cls([FailureEvent(time=time, level=PROCESS_LEVEL, index=rank)])
+
+    @classmethod
+    def ranks(cls, failures: dict[int, float]) -> "FailureSchedule":
+        """Fail each rank of ``failures`` at its associated time."""
+        return cls(
+            [FailureEvent(time=t, level=PROCESS_LEVEL, index=r) for r, t in failures.items()]
+        )
+
+    @classmethod
+    def element(cls, level: int, index: int, time: float) -> "FailureSchedule":
+        """Fail a whole failure-domain element (node, PSU, rack, ...)."""
+        if level <= 0:
+            raise FailureScheduleError("element failures require level >= 1")
+        return cls([FailureEvent(time=time, level=level, index=index)])
+
+    # Mutation ----------------------------------------------------------------
+    def add(self, event: FailureEvent) -> None:
+        """Insert one more event, keeping the schedule sorted."""
+        self._validate(event)
+        heapq.heappush(self.events, event)
+        self.events.sort()
+
+    def merged_with(self, other: "FailureSchedule") -> "FailureSchedule":
+        """Return a new schedule containing the events of both schedules."""
+        return FailureSchedule(list(self.events) + list(other.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+def exponential_schedule(
+    *,
+    horizon: float,
+    rates_per_level: dict[int, float],
+    max_index_per_level: dict[int, int],
+    seed: int | np.random.Generator = 0,
+) -> FailureSchedule:
+    """Draw a failure schedule from per-level Poisson processes.
+
+    Parameters
+    ----------
+    horizon:
+        Length of the simulated period in seconds.
+    rates_per_level:
+        ``{level: failures_per_second}``; levels not listed never fail.
+    max_index_per_level:
+        ``{level: H_j}`` — how many elements exist at each level; failing
+        elements are drawn uniformly among them.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if horizon <= 0:
+        raise FailureScheduleError("horizon must be positive")
+    rng = make_rng(seed)
+    events: list[FailureEvent] = []
+    for level, rate in sorted(rates_per_level.items()):
+        if rate < 0:
+            raise FailureScheduleError(f"rate for level {level} must be non-negative")
+        if rate == 0:
+            continue
+        if level not in max_index_per_level:
+            raise FailureScheduleError(f"missing element count for level {level}")
+        n_elems = max_index_per_level[level]
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / rate)
+            if t > horizon:
+                break
+            idx = int(rng.integers(0, n_elems))
+            events.append(FailureEvent(time=t, level=level, index=idx))
+    return FailureSchedule(events)
+
+
+class FailureInjector:
+    """Applies a :class:`FailureSchedule` to a placed job.
+
+    The cluster driver polls :meth:`newly_failed_ranks` at synchronization
+    points (barriers, gsyncs); this models the fact that in RMA a failure is
+    only *observed* when some process tries to synchronize with or access the
+    failed process.
+    """
+
+    def __init__(self, schedule: FailureSchedule, placement: Placement) -> None:
+        self.schedule = schedule
+        self.placement = placement
+        self._pending: list[FailureEvent] = sorted(schedule.events)
+        self._failed_ranks: set[int] = set()
+        self._failed_elements: list[FailureEvent] = []
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Ranks that have failed so far (and not been replaced)."""
+        return frozenset(self._failed_ranks)
+
+    @property
+    def triggered_events(self) -> list[FailureEvent]:
+        """Events whose time has already passed."""
+        return list(self._failed_elements)
+
+    def ranks_of_event(self, event: FailureEvent) -> list[int]:
+        """Which ranks die when ``event`` fires."""
+        if event.level == PROCESS_LEVEL:
+            if event.index >= self.placement.nprocs:
+                raise FailureScheduleError(
+                    f"failure targets rank {event.index} but the job has only "
+                    f"{self.placement.nprocs} processes"
+                )
+            return [event.index]
+        return self.placement.ranks_on(event.level, event.index)
+
+    def newly_failed_ranks(self, now: float) -> list[int]:
+        """Fire all events with ``time <= now``; return ranks that just died.
+
+        Ranks that already failed earlier are not reported again.
+        """
+        newly: list[int] = []
+        while self._pending and self._pending[0].time <= now:
+            event = self._pending.pop(0)
+            self._failed_elements.append(event)
+            for rank in self.ranks_of_event(event):
+                if rank not in self._failed_ranks:
+                    self._failed_ranks.add(rank)
+                    newly.append(rank)
+        return newly
+
+    def is_failed(self, rank: int) -> bool:
+        """Whether ``rank`` is currently marked dead."""
+        return rank in self._failed_ranks
+
+    def revive(self, rank: int) -> None:
+        """Mark ``rank`` alive again (a replacement process has been spawned)."""
+        self._failed_ranks.discard(rank)
+
+    def has_pending(self) -> bool:
+        """Whether future failure events remain in the schedule."""
+        return bool(self._pending)
+
+    def next_failure_time(self) -> float | None:
+        """Time of the next scheduled failure, or ``None``."""
+        return self._pending[0].time if self._pending else None

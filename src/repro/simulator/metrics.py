@@ -1,0 +1,94 @@
+"""Lightweight counters and gauges for simulation runs.
+
+Protocols, baselines and applications record what they do (operations issued,
+bytes logged, checkpoints taken, recoveries performed) in a shared
+:class:`MetricsRegistry`.  The benchmark harness turns these into the rows of
+the reproduced tables and figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["MetricsRegistry", "MetricsSnapshot"]
+
+
+@dataclass
+class MetricsSnapshot:
+    """An immutable snapshot of the registry, convenient for reporting."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+    per_rank: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def total(self, name: str, default: float = 0.0) -> float:
+        """Aggregate value of counter ``name``."""
+        return self.totals.get(name, default)
+
+    def rank_value(self, name: str, rank: int, default: float = 0.0) -> float:
+        """Per-rank value of counter ``name``."""
+        return self.per_rank.get(name, {}).get(rank, default)
+
+    def names(self) -> list[str]:
+        """Sorted list of counter names present in the snapshot."""
+        return sorted(self.totals)
+
+
+class MetricsRegistry:
+    """Mutable collection of named counters, optionally broken down per rank."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = defaultdict(float)
+        self._per_rank: dict[str, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+
+    def incr(self, name: str, value: float = 1.0, rank: int | None = None) -> None:
+        """Increment counter ``name`` by ``value`` (optionally for ``rank``)."""
+        self._totals[name] += value
+        if rank is not None:
+            self._per_rank[name][rank] += value
+
+    def set_max(self, name: str, value: float, rank: int | None = None) -> None:
+        """Keep the maximum value seen for gauge ``name``."""
+        if value > self._totals.get(name, float("-inf")):
+            self._totals[name] = value
+        if rank is not None:
+            current = self._per_rank[name].get(rank, float("-inf"))
+            if value > current:
+                self._per_rank[name][rank] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Aggregate value of ``name``."""
+        return self._totals.get(name, default)
+
+    def get_rank(self, name: str, rank: int, default: float = 0.0) -> float:
+        """Per-rank value of ``name``."""
+        return self._per_rank.get(name, {}).get(rank, default)
+
+    def max_over_ranks(self, name: str, ranks: Iterable[int] | None = None) -> float:
+        """Maximum per-rank value of ``name`` over ``ranks`` (all known ranks by default)."""
+        values = self._per_rank.get(name, {})
+        if not values:
+            return 0.0
+        if ranks is None:
+            return max(values.values())
+        return max((values.get(r, 0.0) for r in ranks), default=0.0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Deep-copy the current values into an immutable snapshot."""
+        return MetricsSnapshot(
+            totals=dict(self._totals),
+            per_rank={name: dict(vals) for name, vals in self._per_rank.items()},
+        )
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self._totals.clear()
+        self._per_rank.clear()
+
+    def names(self) -> list[str]:
+        """Sorted list of counter names recorded so far."""
+        return sorted(self._totals)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._totals

@@ -1,0 +1,144 @@
+"""Process-to-hardware mappings (the paper's mapping function M).
+
+The paper models process placement as a function ``M(p, k)`` that returns the
+failure-domain element of level ``k`` on which process ``p`` runs (§5).  The
+placement only needs to fix the *node* of every process — the elements at
+higher levels follow from the hierarchy.
+
+Two standard strategies are provided:
+
+* :func:`block_placement` — ranks fill node 0, then node 1, ... (the usual
+  MPI default of packing by node), and
+* :func:`round_robin_placement` — rank ``i`` runs on node ``i mod num_nodes``
+  (cyclic placement, which spreads consecutive ranks across failure domains).
+
+T-awareness of *groups* (Eq. 6 of the paper) is a property of the group
+construction, implemented in :mod:`repro.ft.groups` on top of a placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import PlacementError
+from repro.simulator.topology import FailureDomainHierarchy
+
+__all__ = [
+    "Placement",
+    "block_placement",
+    "round_robin_placement",
+    "custom_placement",
+]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable mapping from ranks to compute nodes of an FDH."""
+
+    fdh: FailureDomainHierarchy
+    node_of_rank: tuple[int, ...]
+    strategy: str = "custom"
+
+    def __post_init__(self) -> None:
+        num_nodes = self.fdh.num_nodes
+        for rank, node in enumerate(self.node_of_rank):
+            if not 0 <= node < num_nodes:
+                raise PlacementError(
+                    f"rank {rank} mapped to node {node}, but the machine has "
+                    f"only {num_nodes} nodes"
+                )
+
+    @property
+    def nprocs(self) -> int:
+        """Number of placed processes."""
+        return len(self.node_of_rank)
+
+    def node(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check_rank(rank)
+        return self.node_of_rank[rank]
+
+    def element(self, rank: int, level: int) -> int:
+        """The paper's ``M(p, k)``: index of the level-``level`` element of ``rank``."""
+        return self.fdh.ancestor_index(self.node(rank), level)
+
+    def ranks_on(self, level: int, index: int) -> list[int]:
+        """All ranks running inside element ``index`` of ``level``."""
+        return [
+            rank
+            for rank in range(self.nprocs)
+            if self.element(rank, level) == index
+        ]
+
+    def ranks_per_node(self) -> dict[int, list[int]]:
+        """Mapping node index -> ranks placed on it (only non-empty nodes)."""
+        out: dict[int, list[int]] = {}
+        for rank, node in enumerate(self.node_of_rank):
+            out.setdefault(node, []).append(rank)
+        return out
+
+    def co_located(self, rank_a: int, rank_b: int, level: int) -> bool:
+        """Whether two ranks share the same failure domain at ``level``."""
+        return self.element(rank_a, level) == self.element(rank_b, level)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise PlacementError(f"rank {rank} out of range 0..{self.nprocs - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Placement({self.strategy}, nprocs={self.nprocs}, nodes={self.fdh.num_nodes})"
+
+
+def block_placement(
+    fdh: FailureDomainHierarchy,
+    nprocs: int,
+    procs_per_node: int | None = None,
+) -> Placement:
+    """Pack ranks onto nodes in blocks of ``procs_per_node``.
+
+    If ``procs_per_node`` is not given it is chosen as the smallest value that
+    fits all processes onto the machine.
+    """
+    num_nodes = fdh.num_nodes
+    if nprocs <= 0:
+        raise PlacementError("nprocs must be positive")
+    if procs_per_node is None:
+        procs_per_node = -(-nprocs // num_nodes)  # ceil division
+    if procs_per_node <= 0:
+        raise PlacementError("procs_per_node must be positive")
+    if procs_per_node * num_nodes < nprocs:
+        raise PlacementError(
+            f"{nprocs} processes do not fit on {num_nodes} nodes "
+            f"with {procs_per_node} processes per node"
+        )
+    mapping = tuple(rank // procs_per_node for rank in range(nprocs))
+    return Placement(fdh=fdh, node_of_rank=mapping, strategy="block")
+
+
+def round_robin_placement(fdh: FailureDomainHierarchy, nprocs: int) -> Placement:
+    """Place rank ``i`` on node ``i mod num_nodes`` (cyclic placement)."""
+    if nprocs <= 0:
+        raise PlacementError("nprocs must be positive")
+    num_nodes = fdh.num_nodes
+    mapping = tuple(rank % num_nodes for rank in range(nprocs))
+    return Placement(fdh=fdh, node_of_rank=mapping, strategy="round-robin")
+
+
+def custom_placement(
+    fdh: FailureDomainHierarchy,
+    node_of_rank: Sequence[int] | Callable[[int], int],
+    nprocs: int | None = None,
+) -> Placement:
+    """Build a placement from an explicit sequence or a callable rank->node."""
+    if callable(node_of_rank):
+        if nprocs is None:
+            raise PlacementError("nprocs is required when node_of_rank is a callable")
+        mapping = tuple(int(node_of_rank(rank)) for rank in range(nprocs))
+    else:
+        mapping = tuple(int(n) for n in node_of_rank)
+        if nprocs is not None and nprocs != len(mapping):
+            raise PlacementError(
+                f"nprocs={nprocs} does not match the length {len(mapping)} of node_of_rank"
+            )
+    return Placement(fdh=fdh, node_of_rank=mapping, strategy="custom")

@@ -1,0 +1,36 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the simulator (failure schedules, synthetic
+failure histories, key-value-store workloads) takes an explicit seed and draws
+from its own :class:`numpy.random.Generator`, so that simulations are
+reproducible and independent components do not perturb each other's streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may already be a generator (returned unchanged), an integer, or
+    ``None`` (fresh OS entropy — only useful for exploratory runs, never used
+    by the benchmark harness).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one integer seed.
+
+    Used to give each simulated process its own stream (e.g. the random keys
+    and think times of the key-value-store benchmark) without any correlation
+    between processes.
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

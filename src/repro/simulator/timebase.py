@@ -1,0 +1,154 @@
+"""Virtual time for the simulated cluster.
+
+Every simulated process owns a :class:`VirtualClock`.  The clock advances when
+the process performs work (local computation, issuing RMA operations, copying
+checkpoints, waiting for the parallel file system).  Collective operations
+synchronize clocks: a barrier sets every participant to the maximum of the
+participants' times plus the barrier cost.
+
+The simulation is *deterministic*: given the same program, cost model and
+failure schedule, all clock values are bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["VirtualClock", "ClockCollection"]
+
+
+@dataclass
+class VirtualClock:
+    """A single process's virtual clock, in (simulated) seconds.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time of the owning process.
+    busy:
+        Accumulated time spent on "useful" application work, used to compute
+        overheads (total - busy = protocol + wait time).
+    """
+
+    now: float = 0.0
+    busy: float = 0.0
+    #: Time spent inside fault-tolerance protocol actions (logging, checkpointing).
+    protocol: float = 0.0
+    #: Time spent blocked in synchronization (barriers, gsyncs, lock waits).
+    waiting: float = 0.0
+    #: Number of advance() calls, handy for debugging determinism issues.
+    ticks: int = field(default=0, repr=False)
+
+    def advance(self, dt: float, *, kind: str = "compute") -> float:
+        """Advance the clock by ``dt`` seconds and return the new time.
+
+        Parameters
+        ----------
+        dt:
+            Non-negative duration.
+        kind:
+            One of ``"compute"``, ``"protocol"``, ``"wait"`` or ``"comm"``.
+            ``compute`` counts towards :attr:`busy`; ``protocol`` towards
+            :attr:`protocol`; ``wait`` towards :attr:`waiting`.  ``comm`` is
+            application communication: it advances time but is not counted as
+            protocol overhead.
+        """
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative dt={dt!r}")
+        self.now += dt
+        self.ticks += 1
+        if kind == "compute":
+            self.busy += dt
+        elif kind == "protocol":
+            self.protocol += dt
+        elif kind == "wait":
+            self.waiting += dt
+        elif kind == "comm":
+            pass
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown clock advance kind {kind!r}")
+        return self.now
+
+    def synchronize_to(self, t: float) -> float:
+        """Move the clock forward to time ``t`` (no-op if already past it).
+
+        The skipped interval is accounted as waiting time.
+        """
+        if t > self.now:
+            self.waiting += t - self.now
+            self.now = t
+        return self.now
+
+    def reset(self) -> None:
+        """Reset all counters to zero (used when a replacement process spawns)."""
+        self.now = 0.0
+        self.busy = 0.0
+        self.protocol = 0.0
+        self.waiting = 0.0
+        self.ticks = 0
+
+
+class ClockCollection:
+    """The set of clocks of all processes in a simulated job.
+
+    Provides the collective-time operations used by barriers and gsyncs and
+    aggregate statistics used by the benchmark harness.
+    """
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs <= 0:
+            raise SimulationError("a job needs at least one process")
+        self._clocks = [VirtualClock() for _ in range(nprocs)]
+
+    def __len__(self) -> int:
+        return len(self._clocks)
+
+    def __getitem__(self, rank: int) -> VirtualClock:
+        return self._clocks[rank]
+
+    def clock(self, rank: int) -> VirtualClock:
+        """Return the clock of ``rank``."""
+        return self._clocks[rank]
+
+    def max_time(self, ranks: list[int] | None = None) -> float:
+        """Maximum current time over ``ranks`` (all processes by default)."""
+        clocks = self._clocks if ranks is None else [self._clocks[r] for r in ranks]
+        return max(c.now for c in clocks)
+
+    def min_time(self, ranks: list[int] | None = None) -> float:
+        """Minimum current time over ``ranks`` (all processes by default)."""
+        clocks = self._clocks if ranks is None else [self._clocks[r] for r in ranks]
+        return min(c.now for c in clocks)
+
+    def synchronize(self, ranks: list[int] | None = None, extra: float = 0.0) -> float:
+        """Synchronize ``ranks`` to ``max_time(ranks) + extra`` and return it.
+
+        Models a barrier among the given ranks whose cost is ``extra`` seconds.
+        """
+        target = self.max_time(ranks) + extra
+        clocks = self._clocks if ranks is None else [self._clocks[r] for r in ranks]
+        for c in clocks:
+            c.synchronize_to(target)
+        return target
+
+    def elapsed(self) -> float:
+        """Job makespan: maximum time over all processes."""
+        return self.max_time()
+
+    def total_busy(self) -> float:
+        """Sum of useful-compute time over all processes."""
+        return sum(c.busy for c in self._clocks)
+
+    def total_protocol(self) -> float:
+        """Sum of protocol-overhead time over all processes."""
+        return sum(c.protocol for c in self._clocks)
+
+    def total_waiting(self) -> float:
+        """Sum of wait time over all processes."""
+        return sum(c.waiting for c in self._clocks)
+
+    def reset_rank(self, rank: int) -> None:
+        """Reset the clock of a single rank (replacement process)."""
+        self._clocks[rank].reset()
