@@ -1,0 +1,17 @@
+"""Reproduction of the ftRMA paper: fault-tolerant RMA programming.
+
+The package is layered bottom-up:
+
+* :mod:`repro.simulator` — the virtual-time cluster (clocks, cost model,
+  failure-domain hierarchy, placement, fail-stop injection);
+* :mod:`repro.rma` — the paper's formal RMA model (actions, epochs, counters,
+  orders) and the :class:`~repro.rma.runtime.RmaRuntime` execution layer;
+* :mod:`repro.ft` — the fault-tolerance protocols built on the runtime
+  (topology-aware in-memory checkpointing and recovery).
+"""
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]
+
+__version__ = "0.1.0"

@@ -1,0 +1,31 @@
+"""Fault-tolerance protocols on top of the RMA runtime (§3–§6).
+
+* :mod:`~repro.ft.groups` — topology-aware (t-aware) buddy and group
+  construction over the failure-domain hierarchy (§5, Eq. 6);
+* :mod:`~repro.ft.checkpoint` — coordinated in-memory checkpointing of window
+  contents with buddy placement across failure domains, plus demand
+  checkpoints driven by the interceptor's put/get log (§3.1, §6.2);
+* :mod:`~repro.ft.recovery` — the recovery path: respawn a dead rank,
+  reallocate its invalidated window buffers and restore every rank from the
+  newest surviving coordinated checkpoint (§4.2–§4.3).
+"""
+
+from repro.ft.checkpoint import (
+    ActionLog,
+    CheckpointVersion,
+    CoordinatedCheckpointer,
+    InMemoryCheckpointStore,
+)
+from repro.ft.groups import buddy_assignment, group_spread, t_aware_groups
+from repro.ft.recovery import RecoveryManager
+
+__all__ = [
+    "ActionLog",
+    "CheckpointVersion",
+    "CoordinatedCheckpointer",
+    "InMemoryCheckpointStore",
+    "buddy_assignment",
+    "group_spread",
+    "t_aware_groups",
+    "RecoveryManager",
+]

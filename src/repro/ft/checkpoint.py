@@ -1,0 +1,310 @@
+"""In-memory checkpointing of window contents (§3.1, §6.2).
+
+Checkpoints are *diskless*: every rank keeps a copy of its window contents in
+its own memory **and** sends a second copy to a buddy rank chosen by
+:func:`~repro.ft.groups.buddy_assignment` in a different failure domain.  A
+copy survives exactly as long as the memory holding it does — when a rank
+fails, its local copies and every buddy copy it was holding for others are
+lost.  Restoring therefore works as long as no rank *and* its buddy die
+together, which the topology-aware placement makes unlikely (§5).
+
+Two triggers are supported:
+
+* **Coordinated** checkpoints (§3.1): a collective
+  :meth:`CoordinatedCheckpointer.checkpoint` taken at an epoch boundary; the
+  Locks scheme's guard (§3.1.2) refuses to start while any rank holds a lock
+  (``LC > 0``).
+* **Demand** checkpoints (§6.2): an :class:`ActionLog` interceptor accumulates
+  the put/get log; when the logged volume passes a threshold,
+  :meth:`CoordinatedCheckpointer.maybe_checkpoint` takes a fresh checkpoint
+  and truncates the log — bounding log growth exactly like the paper's
+  demand checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import CheckpointError, EpochError
+from repro.ft.groups import buddy_assignment
+from repro.rma.actions import CommAction
+from repro.rma.interceptor import RmaInterceptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.rma.runtime import RmaRuntime
+
+__all__ = [
+    "ActionLog",
+    "CheckpointVersion",
+    "InMemoryCheckpointStore",
+    "CoordinatedCheckpointer",
+]
+
+
+class ActionLog(RmaInterceptor):
+    """The put/get log of §6.2, kept at the origin of every action.
+
+    Each completed communication action appends its determinant and payload
+    size to the origin's log; the bookkeeping plus the local copy of put data
+    is charged on the origin's clock as protocol overhead (the paper's logging
+    cost).  The per-rank logged volume drives demand checkpoints.
+    """
+
+    name = "action-log"
+
+    def __init__(self) -> None:
+        self._runtime: RmaRuntime | None = None
+        #: Per-origin list of (determinant, nbytes) since the last truncation.
+        self.entries: dict[int, list[tuple[tuple, int]]] = {}
+        self.bytes_logged: dict[int, int] = {}
+
+    def attach(self, runtime: "RmaRuntime") -> None:
+        self._runtime = runtime
+
+    def after_comm(self, action: CommAction) -> None:
+        nbytes = action.nbytes
+        self.entries.setdefault(action.src, []).append((action.determinant(), nbytes))
+        self.bytes_logged[action.src] = self.bytes_logged.get(action.src, 0) + nbytes
+        if self._runtime is not None:
+            costs = self._runtime.cluster.costs
+            overhead = costs.log_bookkeeping
+            if action.is_put_like:
+                overhead += costs.local_copy(nbytes)
+            self._runtime.cluster.advance(action.src, overhead, kind="protocol")
+
+    def on_respawn(self, rank: int) -> None:
+        # A replacement process starts with an empty log (its memory is new).
+        self.entries.pop(rank, None)
+        self.bytes_logged.pop(rank, None)
+
+    def max_logged_bytes(self) -> int:
+        """Largest per-rank logged volume since the last truncation."""
+        return max(self.bytes_logged.values(), default=0)
+
+    def total_logged_bytes(self) -> int:
+        """Sum of logged volume over all ranks."""
+        return sum(self.bytes_logged.values())
+
+    def truncate(self) -> None:
+        """Drop the log (a fresh checkpoint makes replaying it unnecessary)."""
+        self.entries.clear()
+        self.bytes_logged.clear()
+
+
+@dataclass
+class CheckpointVersion:
+    """One coordinated checkpoint: window contents of every rank, twice."""
+
+    version: int
+    tag: Any
+    taken_at: float
+    buddy_of: dict[int, int]
+    #: Copy kept in the owner's own memory: ``owner -> window -> data``.
+    local: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+    #: Copy held in the buddy's memory: ``owner -> window -> data``.
+    remote: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+    #: Per-rank epoch state at checkpoint time (restored on rollback so
+    #: survivors do not keep post-checkpoint epochs/pending operations).
+    epoch_states: list | None = None
+    #: Per-rank counter state (EC/GC/SC/GNC/LC and held locks) at checkpoint
+    #: time; restoring it releases locks acquired after the checkpoint.
+    counter_states: list | None = None
+
+    def payload_for(self, owner: int) -> tuple[str, dict[str, np.ndarray]] | None:
+        """The surviving copy of ``owner``'s windows: ``("local"|"buddy", data)``.
+
+        ``None`` when both copies were lost (owner and its buddy both failed
+        since the checkpoint was taken).
+        """
+        if owner in self.local:
+            return ("local", self.local[owner])
+        if owner in self.remote:
+            return ("buddy", self.remote[owner])
+        return None
+
+    def drop_rank(self, rank: int) -> None:
+        """Lose every copy stored in ``rank``'s memory (it failed)."""
+        self.local.pop(rank, None)
+        for owner, buddy in self.buddy_of.items():
+            if buddy == rank:
+                self.remote.pop(owner, None)
+
+    def usable_for(self, ranks: list[int]) -> bool:
+        """Whether every rank of ``ranks`` still has at least one copy."""
+        return all(self.payload_for(rank) is not None for rank in ranks)
+
+    def nbytes(self) -> int:
+        """Total memory held by this version across all copies."""
+        total = 0
+        for copies in (self.local, self.remote):
+            for windows in copies.values():
+                total += sum(int(data.nbytes) for data in windows.values())
+        return total
+
+
+class InMemoryCheckpointStore:
+    """All checkpoint versions currently held in the job's memory."""
+
+    def __init__(self, keep_versions: int = 2) -> None:
+        if keep_versions < 1:
+            raise CheckpointError("the store must keep at least one version")
+        self.keep_versions = keep_versions
+        self.versions: list[CheckpointVersion] = []
+        self._next_version = 0
+
+    def commit(self, version: CheckpointVersion) -> CheckpointVersion:
+        """Publish a fully-populated version; evict the oldest beyond the limit.
+
+        Called only after the closing barrier confirmed that every rank
+        completed its copies — a checkpoint interrupted by a failure is never
+        committed.
+        """
+        version.version = self._next_version
+        self._next_version += 1
+        self.versions.append(version)
+        while len(self.versions) > self.keep_versions:
+            self.versions.pop(0)
+        return version
+
+    def latest(self) -> CheckpointVersion | None:
+        """The newest version, complete or not."""
+        return self.versions[-1] if self.versions else None
+
+    def latest_usable(self, ranks: list[int]) -> CheckpointVersion | None:
+        """The newest version with a surviving copy for every rank of ``ranks``."""
+        for version in reversed(self.versions):
+            if version.usable_for(ranks):
+                return version
+        return None
+
+    def drop_rank(self, rank: int) -> None:
+        """Propagate a rank failure to every stored version."""
+        for version in self.versions:
+            version.drop_rank(rank)
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+
+class CoordinatedCheckpointer(RmaInterceptor):
+    """Takes coordinated in-memory checkpoints with t-aware buddy placement.
+
+    Register it on the runtime with
+    :meth:`~repro.rma.runtime.RmaRuntime.add_interceptor` so that failures
+    propagate into the store automatically (lost copies are dropped the moment
+    the failure is observed).
+
+    Parameters
+    ----------
+    level:
+        FDH level across which buddies are spread; ``1`` means "a different
+        compute node", higher levels survive larger failure domains (§5).
+    log:
+        Optional :class:`ActionLog` driving demand checkpoints.
+    demand_threshold_bytes:
+        Per-rank logged volume above which :meth:`maybe_checkpoint` fires.
+    """
+
+    name = "coordinated-checkpointer"
+
+    def __init__(
+        self,
+        *,
+        level: int = 1,
+        store: InMemoryCheckpointStore | None = None,
+        log: ActionLog | None = None,
+        demand_threshold_bytes: int | None = None,
+    ) -> None:
+        self.level = level
+        self.store = store or InMemoryCheckpointStore()
+        self.log = log
+        self.demand_threshold_bytes = demand_threshold_bytes
+        self.buddies: dict[int, int] = {}
+        self._runtime: RmaRuntime | None = None
+
+    def attach(self, runtime: "RmaRuntime") -> None:
+        self._runtime = runtime
+        self.buddies = buddy_assignment(runtime.cluster.placement, self.level)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> "RmaRuntime":
+        if self._runtime is None:
+            raise CheckpointError("checkpointer is not attached to a runtime")
+        return self._runtime
+
+    def checkpoint(self, tag: Any = None) -> CheckpointVersion:
+        """Take one coordinated checkpoint of every window at every rank.
+
+        The checkpoint must start at an epoch boundary: per the Locks scheme
+        (§3.1.2) no rank may hold a lock, and per §2.4 every rank must be
+        alive (recovery must complete first).
+        """
+        runtime = self.runtime
+        cluster = runtime.cluster
+        dead = cluster.failed_ranks()
+        if dead:
+            raise CheckpointError(
+                f"cannot checkpoint while ranks {dead} are failed; recover first"
+            )
+        for rank in range(cluster.nprocs):
+            if runtime.counters.holds_any_lock(rank):
+                raise EpochError(
+                    f"checkpoint must start at an epoch boundary, but rank "
+                    f"{rank} holds a lock (LC={runtime.counters.lc(rank)})"
+                )
+        # Coordination: agree to checkpoint (a barrier), then copy.
+        cluster.barrier()
+        version = CheckpointVersion(
+            version=-1, tag=tag, taken_at=cluster.elapsed(), buddy_of=dict(self.buddies)
+        )
+        costs = cluster.costs
+        for rank in range(cluster.nprocs):
+            buddy = self.buddies[rank]
+            local_copy: dict[str, np.ndarray] = {}
+            remote_copy: dict[str, np.ndarray] = {}
+            copied_bytes = 0
+            for window in runtime.windows.all():
+                data = window.snapshot(rank)
+                local_copy[window.name] = data
+                remote_copy[window.name] = data.copy()
+                copied_bytes += int(data.nbytes)
+            version.local[rank] = local_copy
+            version.remote[rank] = remote_copy
+            # Local duplicate plus the transfer of the buddy copy.
+            cluster.advance(rank, costs.local_copy(copied_bytes), kind="protocol")
+            cluster.advance(rank, costs.remote_transfer(copied_bytes), kind="protocol")
+            cluster.advance(buddy, costs.local_copy(copied_bytes), kind="protocol")
+            cluster.metrics.incr("ft.checkpoint_bytes", 2 * copied_bytes, rank=rank)
+        version.epoch_states = runtime.epochs.snapshot()
+        version.counter_states = runtime.counters.snapshot()
+        # The closing barrier confirms every copy completed; only then does
+        # the version become restorable and the log dispensable.  A failure
+        # firing during the checkpoint aborts it without committing anything.
+        cluster.barrier()
+        self.store.commit(version)
+        if self.log is not None:
+            self.log.truncate()
+        cluster.metrics.incr("ft.checkpoints")
+        return version
+
+    def maybe_checkpoint(self, tag: Any = None) -> CheckpointVersion | None:
+        """Demand checkpoint: fire when the put/get log passed the threshold."""
+        if self.log is None or self.demand_threshold_bytes is None:
+            return None
+        if self.log.max_logged_bytes() < self.demand_threshold_bytes:
+            return None
+        version = self.checkpoint(tag=tag)
+        self.runtime.cluster.metrics.incr("ft.demand_checkpoints")
+        return version
+
+    # ------------------------------------------------------------------
+    # Interceptor hooks
+    # ------------------------------------------------------------------
+    def on_failure_detected(self, rank: int) -> None:
+        self.store.drop_rank(rank)

@@ -1,0 +1,115 @@
+"""Topology-aware buddy and group construction (§5).
+
+The paper extends flat checkpointing with the failure-domain hierarchy: a
+checkpoint copy only helps if it survives the failures that destroy the
+original, so partners must live in *different* failure domains.  Eq. 6 calls a
+group of processes *t-aware* at level ``k`` when its members are spread over
+at least ``t`` distinct level-``k`` elements.
+
+Two constructions are provided on top of a
+:class:`~repro.simulator.placement.Placement`:
+
+* :func:`buddy_assignment` — pairs every rank with a partner in a different
+  level-``k`` domain (the in-memory checkpoint buddy);
+* :func:`t_aware_groups` — partitions the job into groups of ``m`` ranks no
+  two of which share a level-``k`` domain (the erasure-coding groups of §3.3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlacementError, TopologyError
+from repro.simulator.placement import Placement
+
+__all__ = ["buddy_assignment", "t_aware_groups", "group_spread"]
+
+
+def _ranks_by_domain(placement: Placement, level: int) -> dict[int, list[int]]:
+    """Group all ranks by the index of their level-``level`` domain element."""
+    domains: dict[int, list[int]] = {}
+    for rank in range(placement.nprocs):
+        domains.setdefault(placement.element(rank, level), []).append(rank)
+    return domains
+
+
+def group_spread(placement: Placement, ranks: list[int], level: int) -> int:
+    """Number of distinct level-``level`` domains covering ``ranks``.
+
+    A group is *t-aware* at ``level`` (Eq. 6) iff this is at least ``t``.
+    """
+    return len({placement.element(rank, level) for rank in ranks})
+
+
+def buddy_assignment(placement: Placement, level: int = 1) -> dict[int, int]:
+    """Assign every rank a checkpoint buddy in a *different* level-``level`` domain.
+
+    Domains are ordered by element index and chained cyclically: the ranks of
+    domain ``d`` store their copies with the ranks of domain ``d+1``.  Within a
+    pair of domains, ranks are matched by position (modulo the partner
+    domain's size), so the assignment is deterministic and total.
+
+    Raises
+    ------
+    TopologyError
+        If every process lives in a single level-``level`` domain — no
+        placement can then survive a failure of that domain.
+    """
+    domains = _ranks_by_domain(placement, level)
+    if len(domains) < 2:
+        raise TopologyError(
+            f"buddy placement at level {level} needs at least two failure "
+            f"domains, but all {placement.nprocs} ranks share one"
+        )
+    order = sorted(domains)
+    buddies: dict[int, int] = {}
+    for pos, domain in enumerate(order):
+        partner_ranks = domains[order[(pos + 1) % len(order)]]
+        for i, rank in enumerate(domains[domain]):
+            buddies[rank] = partner_ranks[i % len(partner_ranks)]
+    return buddies
+
+
+def t_aware_groups(
+    placement: Placement, group_size: int, level: int = 1
+) -> list[list[int]]:
+    """Partition the job into groups of ``group_size`` fully spread at ``level``.
+
+    Each group's members all live in pairwise different level-``level``
+    domains (the group is ``group_size``-aware, the strongest t-awareness).
+    Ranks are dealt round-robin over the domains, so the construction works
+    for any placement with at least ``group_size`` domains.
+
+    Raises
+    ------
+    PlacementError
+        If ``group_size`` does not divide the job size or exceeds the number
+        of available domains.
+    """
+    if group_size <= 0:
+        raise PlacementError("group_size must be positive")
+    if placement.nprocs % group_size != 0:
+        raise PlacementError(
+            f"{placement.nprocs} ranks cannot be split into groups of {group_size}"
+        )
+    domains = _ranks_by_domain(placement, level)
+    if group_size > len(domains):
+        raise PlacementError(
+            f"groups of {group_size} cannot be spread over only "
+            f"{len(domains)} level-{level} domains"
+        )
+    # Deal ranks domain by domain into a round-robin pool: consecutive pool
+    # entries come from different domains as long as domains are balanced.
+    pools = [domains[d] for d in sorted(domains)]
+    dealt: list[int] = []
+    cursor = 0
+    while any(pools):
+        if pools[cursor % len(pools)]:
+            dealt.append(pools[cursor % len(pools)].pop(0))
+        cursor += 1
+    groups = [dealt[i : i + group_size] for i in range(0, len(dealt), group_size)]
+    for group in groups:
+        if group_spread(placement, group, level) < len(group):
+            raise PlacementError(
+                f"could not build {group_size}-aware groups at level {level}: "
+                f"group {group} shares a domain"
+            )
+    return groups

@@ -1,0 +1,45 @@
+"""The paper's formal RMA model (§2) and its execution layer (§6).
+
+* :mod:`~repro.rma.actions` — communication/synchronization actions (Eq. 1–3),
+* :mod:`~repro.rma.epoch` — epoch tracking ``E(p -> q)`` (§2.2),
+* :mod:`~repro.rma.counters` — the recovery counters EC/GC/SC/GNC/LC (§4.1),
+* :mod:`~repro.rma.ordering` — the orders ``po``, ``so``, ``hb``, ``co`` (§2.3),
+* :mod:`~repro.rma.table1` — operation categorization across languages (Table 1),
+* :mod:`~repro.rma.interceptor` — PMPI-style interposition hooks (§6.1),
+* :mod:`~repro.rma.window` — shared memory windows,
+* :mod:`~repro.rma.runtime` — the SPMD runtime binding it all to the simulator.
+"""
+
+from repro.rma.actions import (
+    AccumulateOp,
+    ActionCategory,
+    CommAction,
+    Counters,
+    OpKind,
+    SyncAction,
+    SyncKind,
+)
+from repro.rma.counters import CounterBoard
+from repro.rma.epoch import EpochTracker
+from repro.rma.interceptor import InterceptorChain, RmaInterceptor
+from repro.rma.ordering import OrderRecorder
+from repro.rma.runtime import RmaRuntime
+from repro.rma.window import Window, WindowRegistry
+
+__all__ = [
+    "AccumulateOp",
+    "ActionCategory",
+    "CommAction",
+    "Counters",
+    "OpKind",
+    "SyncAction",
+    "SyncKind",
+    "CounterBoard",
+    "EpochTracker",
+    "InterceptorChain",
+    "RmaInterceptor",
+    "OrderRecorder",
+    "RmaRuntime",
+    "Window",
+    "WindowRegistry",
+]

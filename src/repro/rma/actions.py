@@ -27,7 +27,6 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any
 
 import numpy as np
 
@@ -339,9 +338,3 @@ def reset_sequence_counter(value: int = 0) -> None:
     """Reset the global action sequence counter (test isolation helper)."""
     global _SEQ
     _SEQ = itertools.count(value)
-
-
-def _coerce_payload(data: Any) -> np.ndarray:
-    """Normalize a user payload to a contiguous numpy array copy."""
-    arr = np.ascontiguousarray(data)
-    return arr.copy()

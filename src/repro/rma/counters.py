@@ -21,6 +21,7 @@ even without any protocol attached).
 
 from __future__ import annotations
 
+import copy
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -148,3 +149,16 @@ class CounterBoard:
         (§6.2 demand-checkpoint confirmations carry them).
         """
         self._counters[rank] = ProcessCounters()
+
+    def snapshot(self) -> list[ProcessCounters]:
+        """Deep-copy the counters of every rank (checkpoint payload)."""
+        return [copy.deepcopy(counters) for counters in self._counters]
+
+    def restore(self, states: list[ProcessCounters]) -> None:
+        """Roll every rank's counters back to a :meth:`snapshot`.
+
+        A coordinated rollback restores *survivors* too: locks they held
+        after the checkpoint are released with the rest of their state, so
+        the re-executed program can acquire them again.
+        """
+        self._counters = [copy.deepcopy(counters) for counters in states]

@@ -12,6 +12,7 @@ Epochs induce the consistency order ``co``: actions issued by ``p`` towards
 
 from __future__ import annotations
 
+import copy
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -87,3 +88,11 @@ class EpochTracker:
     def reset_rank(self, rank: int) -> None:
         """Forget all epoch state of ``rank`` (its replacement starts fresh)."""
         self._states[rank] = EpochState()
+
+    def snapshot(self) -> list[EpochState]:
+        """Deep-copy the epoch state of every rank (checkpoint payload)."""
+        return [copy.deepcopy(state) for state in self._states]
+
+    def restore(self, states: list[EpochState]) -> None:
+        """Roll every rank's epoch state back to a :meth:`snapshot`."""
+        self._states = [copy.deepcopy(state) for state in states]

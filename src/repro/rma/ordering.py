@@ -17,8 +17,8 @@ action of a run.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 import networkx as nx
 

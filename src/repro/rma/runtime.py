@@ -1,0 +1,453 @@
+"""The SPMD RMA runtime — the execution layer of the reproduction (§6).
+
+:class:`RmaRuntime` binds the formal model (:mod:`repro.rma`) to the virtual
+cluster (:mod:`repro.simulator`):
+
+* every ``put``/``get``/atomic is materialized as a
+  :class:`~repro.rma.actions.CommAction` stamped with the recovery counters
+  (EC, GC, SC, GNC), dispatched through the registered
+  :class:`~repro.rma.interceptor.RmaInterceptor` chain, applied to the target
+  :class:`~repro.rma.window.Window` buffer and charged on the origin's virtual
+  clock via the cluster's :class:`~repro.simulator.costs.CostModel`;
+* every ``lock``/``unlock``/``flush``/``gsync`` maintains the epoch and
+  counter state exactly as §2.2 and §4.1 prescribe (unlock and flush close the
+  ``src -> trg`` epoch, a gsync closes all epochs everywhere and bumps GNC);
+* fail-stop failures surface as
+  :class:`~repro.errors.ProcessFailedError` the moment an action touches a
+  dead process or a collective observes one — the fault-tolerance layer
+  (:mod:`repro.ft`) catches it and drives recovery.
+
+The driver is SPMD-by-iteration: a single thread issues actions on behalf of
+each rank (``src`` is an explicit argument), which keeps the simulation
+deterministic while preserving per-rank timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProcessFailedError, RmaError, SynchronizationError
+from repro.rma.actions import (
+    AccumulateOp,
+    CommAction,
+    Counters,
+    OpKind,
+    SyncAction,
+    SyncKind,
+    apply_accumulate,
+)
+from repro.rma.counters import CounterBoard
+from repro.rma.epoch import EpochTracker
+from repro.rma.interceptor import InterceptorChain, RmaInterceptor
+from repro.rma.ordering import OrderRecorder
+from repro.rma.window import Window, WindowRegistry
+from repro.simulator.cluster import Cluster
+
+__all__ = ["RmaRuntime"]
+
+
+class RmaRuntime:
+    """Executes RMA programs of an SPMD job on a simulated cluster."""
+
+    def __init__(self, cluster: Cluster, *, record: bool = False) -> None:
+        self.cluster = cluster
+        self.nprocs = cluster.nprocs
+        self.windows = WindowRegistry()
+        self.epochs = EpochTracker(cluster.nprocs)
+        self.counters = CounterBoard(cluster.nprocs)
+        self.interceptors = InterceptorChain()
+        self.recorder = OrderRecorder(enabled=record)
+        self._finalized = False
+        #: Failures already propagated to windows and interceptors.
+        self._known_failed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Interceptors (the PMPI-interposition analogue, §6.1)
+    # ------------------------------------------------------------------
+    def add_interceptor(self, interceptor: RmaInterceptor) -> None:
+        """Register ``interceptor``; its hooks fire on every subsequent action."""
+        self.interceptors.add(interceptor, self)
+
+    def remove_interceptor(self, interceptor: RmaInterceptor) -> None:
+        """Unregister ``interceptor``."""
+        self.interceptors.remove(interceptor)
+
+    # ------------------------------------------------------------------
+    # Window lifecycle
+    # ------------------------------------------------------------------
+    def win_allocate(self, name: str, size: int, dtype: np.dtype = np.float64) -> Window:
+        """Collectively allocate a window on every rank (MPI_Win_allocate).
+
+        Charged as a barrier plus the local allocation cost at each rank.
+        """
+        self._ensure_all_alive("win_allocate")
+        window = self.windows.create(name, size, np.dtype(dtype), self.nprocs)
+        alloc_cost = self.cluster.costs.local_copy(window.nbytes_per_rank)
+        for rank in self.cluster.alive_ranks():
+            self.cluster.advance(rank, alloc_cost, kind="comm")
+        self.cluster.barrier()
+        self.interceptors.on_window_create(window)
+        self.cluster.metrics.incr("rma.windows_allocated")
+        return window
+
+    def window(self, name: str) -> Window:
+        """Look up a window by name."""
+        return self.windows.get(name)
+
+    def local(self, rank: int, window: str) -> np.ndarray:
+        """The local window buffer of ``rank`` (direct load/store access)."""
+        self.cluster.ensure_alive(rank)
+        return self.windows.get(window).local(rank)
+
+    # ------------------------------------------------------------------
+    # Communication actions
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        data: np.ndarray,
+    ) -> CommAction:
+        """Write ``data`` into ``trg``'s window at ``offset`` (MPI_Put)."""
+        win = self.windows.get(window)
+        payload = self._coerce_payload(data, win)
+        action = self._make_comm(
+            OpKind.PUT, src, trg, window, offset, payload.size, combine=False,
+            data=payload,
+        )
+        return self._issue_comm(action, win)
+
+    def get(
+        self, src: int, trg: int, window: str, offset: int, count: int
+    ) -> np.ndarray:
+        """Read ``count`` elements from ``trg``'s window at ``offset`` (MPI_Get)."""
+        win = self.windows.get(window)
+        action = self._make_comm(
+            OpKind.GET, src, trg, window, offset, count, combine=False,
+        )
+        completed = self._issue_comm(action, win)
+        assert completed.data is not None
+        return completed.data
+
+    def accumulate(
+        self,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        data: np.ndarray,
+        op: AccumulateOp = AccumulateOp.SUM,
+    ) -> CommAction:
+        """Combine ``data`` into ``trg``'s window (MPI_Accumulate)."""
+        win = self.windows.get(window)
+        payload = self._coerce_payload(data, win)
+        action = self._make_comm(
+            OpKind.ACCUMULATE, src, trg, window, offset, payload.size,
+            combine=op.combining, data=payload, op=op,
+        )
+        return self._issue_comm(action, win)
+
+    def get_accumulate(
+        self,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        data: np.ndarray,
+        op: AccumulateOp = AccumulateOp.SUM,
+    ) -> np.ndarray:
+        """Atomically combine ``data`` and return the previous target values."""
+        win = self.windows.get(window)
+        payload = self._coerce_payload(data, win)
+        action = self._make_comm(
+            OpKind.GET_ACCUMULATE, src, trg, window, offset, payload.size,
+            combine=op.combining, data=payload, op=op,
+        )
+        completed = self._issue_comm(action, win)
+        assert completed.data is not None
+        return completed.data
+
+    def fetch_and_op(
+        self,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        value: float,
+        op: AccumulateOp = AccumulateOp.SUM,
+    ) -> float:
+        """Single-element atomic fetch-and-op (MPI_Fetch_and_op)."""
+        win = self.windows.get(window)
+        payload = np.asarray([value], dtype=win.dtype)
+        action = self._make_comm(
+            OpKind.FETCH_AND_OP, src, trg, window, offset, 1,
+            combine=op.combining, data=payload, op=op,
+        )
+        completed = self._issue_comm(action, win)
+        assert completed.data is not None
+        return completed.data[0]
+
+    def compare_and_swap(
+        self,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        compare: float,
+        value: float,
+    ) -> float:
+        """Single-element atomic CAS; returns the previous target value."""
+        win = self.windows.get(window)
+        payload = np.asarray([value], dtype=win.dtype)
+        cmp = np.asarray([compare], dtype=win.dtype)
+        action = self._make_comm(
+            OpKind.COMPARE_AND_SWAP, src, trg, window, offset, 1,
+            combine=True, data=payload, compare=cmp,
+        )
+        completed = self._issue_comm(action, win)
+        assert completed.data is not None
+        return completed.data[0]
+
+    # ------------------------------------------------------------------
+    # Synchronization actions
+    # ------------------------------------------------------------------
+    def lock(self, src: int, trg: int, structure: str | None = None) -> SyncAction:
+        """Acquire a lock on ``trg``; fetches-and-increments ``SC_trg`` (§4.1 C)."""
+        self._pre_action(src, trg)
+        sc = self.counters.on_lock(src, trg, structure)
+        action = SyncAction(
+            kind=SyncKind.LOCK, src=src, trg=trg,
+            counters=self._stamp(src, trg, sc=sc), structure=structure,
+        )
+        return self._issue_sync(action, cost=self.cluster.costs.lock())
+
+    def unlock(self, src: int, trg: int, structure: str | None = None) -> SyncAction:
+        """Release a lock on ``trg``; completes and closes the epoch (§2.2)."""
+        self._pre_action(src, trg)
+        self.counters.on_unlock(src, trg, structure)
+        action = SyncAction(
+            kind=SyncKind.UNLOCK, src=src, trg=trg,
+            counters=self._stamp(src, trg), structure=structure,
+        )
+        result = self._issue_sync(action, cost=self.cluster.costs.unlock())
+        self.epochs.close_epoch(src, trg)
+        return result
+
+    def flush(self, src: int, trg: int) -> SyncAction:
+        """Complete all outstanding ``src -> trg`` operations (MPI_Win_flush).
+
+        Closes the epoch and increments ``GC_src`` (§4.1 B).
+        """
+        self._pre_action(src, trg)
+        pending = self.epochs.pending(src, trg)
+        self.counters.on_flush(src)
+        action = SyncAction(
+            kind=SyncKind.FLUSH, src=src, trg=trg,
+            counters=self._stamp(src, trg),
+        )
+        result = self._issue_sync(action, cost=self.cluster.costs.flush(pending))
+        self.epochs.close_epoch(src, trg)
+        return result
+
+    def flush_all(self, src: int) -> SyncAction:
+        """Complete all outstanding operations of ``src`` (MPI_Win_flush_all)."""
+        self.observe_failures()
+        self.cluster.ensure_alive(src)
+        pending = self.epochs.pending(src)
+        gc = self.counters.on_flush(src)
+        action = SyncAction(
+            kind=SyncKind.FLUSH_ALL, src=src, trg=None,
+            counters=Counters(gc=gc, gnc=self.counters.gnc(src)),
+        )
+        result = self._issue_sync(action, cost=self.cluster.costs.flush(pending))
+        self.epochs.close_all_epochs(src)
+        return result
+
+    def gsync(self) -> list[SyncAction]:
+        """Global window synchronization (MPI_Win_fence / upc_barrier).
+
+        Collective over all ranks: completes every outstanding operation,
+        closes every epoch at every process and increments every ``GNC``
+        (§4.1 E).  Raises :class:`~repro.errors.ProcessFailedError` if any
+        participant has failed — this is where failures are usually observed.
+        """
+        self._ensure_all_alive("gsync")
+        if any(self.counters.holds_any_lock(r) for r in self.cluster.alive_ranks()):
+            raise SynchronizationError("gsync while a lock is held")
+        cost = self.cluster.costs.gsync(self.nprocs)
+        self.cluster.barrier(cost=cost)  # raises on failed participants
+        self.counters.on_gsync()
+        self.epochs.close_global_epoch()
+        actions = []
+        for rank in self.cluster.alive_ranks():
+            action = SyncAction(
+                kind=SyncKind.GSYNC, src=rank, trg=None,
+                counters=Counters(
+                    gc=self.counters.gc(rank), gnc=self.counters.gnc(rank),
+                ),
+            )
+            self.interceptors.before_sync(action)
+            self.recorder.record(action)
+            self.interceptors.after_sync(action)
+            actions.append(action)
+        self.cluster.metrics.incr("rma.gsyncs")
+        return actions
+
+    def barrier(self) -> float:
+        """Plain barrier (no window synchronization, no epoch effect)."""
+        self._ensure_all_alive("barrier")
+        return self.cluster.barrier()
+
+    # ------------------------------------------------------------------
+    # Compute and lifecycle
+    # ------------------------------------------------------------------
+    def compute(self, rank: int, flops: float) -> float:
+        """Charge ``flops`` of application compute on ``rank``'s clock."""
+        self.cluster.ensure_alive(rank)
+        return self.cluster.advance(rank, self.cluster.costs.compute(flops))
+
+    def finalize(self) -> None:
+        """Finish the run: flush interceptor statistics (idempotent)."""
+        if not self._finalized:
+            self._finalized = True
+            self.interceptors.on_finalize()
+
+    # ------------------------------------------------------------------
+    # Failure plumbing
+    # ------------------------------------------------------------------
+    def observe_failures(self, now: float | None = None) -> list[int]:
+        """Fire scheduled failures and propagate them to windows/interceptors.
+
+        Diffing against the runtime's own known-failed set also catches ranks
+        killed directly with :meth:`~repro.simulator.cluster.Cluster.fail_rank`
+        (not just time-scheduled events): their window buffers are invalidated
+        and every interceptor's ``on_failure_detected`` fires exactly once.
+        """
+        self.cluster.check_failures(now if now is not None else self.cluster.elapsed())
+        newly = sorted(set(self.cluster.failed_ranks()) - self._known_failed)
+        for rank in newly:
+            self._known_failed.add(rank)
+            self.windows.invalidate_rank(rank)
+            self.interceptors.on_failure_detected(rank)
+        return newly
+
+    def notify_respawn(self, rank: int) -> None:
+        """Tell the runtime a replacement process took over ``rank``.
+
+        Called by the recovery path (:mod:`repro.ft.recovery`) after the
+        cluster respawned the rank: resets the rank's epoch and counter state
+        and notifies interceptors.
+        """
+        self._known_failed.discard(rank)
+        self.epochs.reset_rank(rank)
+        self.counters.reset_rank(rank)
+        self.interceptors.on_respawn(rank)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_all_alive(self, what: str) -> None:
+        """Collectives observe pending failures and fail when any rank is dead.
+
+        A collective involves every rank, so a process that already failed —
+        even one whose failure was observed earlier — makes it raise; this is
+        how the paper's applications learn they must recover before
+        synchronizing again (§2.4).
+        """
+        self.observe_failures()
+        dead = self.cluster.failed_ranks()
+        if dead:
+            raise ProcessFailedError(dead[0], f"{what} observed failed ranks {dead}")
+
+    def _pre_action(self, src: int, trg: int) -> None:
+        """Failure check before any targeted action: src then trg must be alive."""
+        self.observe_failures(self.cluster.now(src))
+        self.cluster.ensure_alive(src)
+        self.cluster.ensure_alive(trg)
+
+    @staticmethod
+    def _coerce_payload(data: np.ndarray, win: Window) -> np.ndarray:
+        """Copy a user payload into a flat array of the window's dtype.
+
+        The copy decouples the action from the caller's buffer: actions
+        retained by interceptors or the recorder must keep the values the
+        operation actually transferred, even if the caller mutates its array
+        afterwards (the stencil passes live window slices, for example).
+        """
+        return np.array(data, dtype=win.dtype, copy=True).ravel()
+
+    def _stamp(self, src: int, trg: int, *, sc: int | None = None) -> Counters:
+        """Counters a fresh ``src -> trg`` action carries (Eq. 1/3)."""
+        return Counters(
+            ec=self.epochs.epoch(src, trg),
+            gc=self.counters.gc(src),
+            sc=self.counters.sc_held(src, trg) if sc is None else sc,
+            gnc=self.counters.gnc(src),
+        )
+
+    def _make_comm(
+        self,
+        kind: OpKind,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        count: int,
+        *,
+        combine: bool,
+        data: np.ndarray | None = None,
+        compare: np.ndarray | None = None,
+        op: AccumulateOp = AccumulateOp.REPLACE,
+    ) -> CommAction:
+        self._pre_action(src, trg)
+        return CommAction(
+            kind=kind, src=src, trg=trg, window=window, offset=offset,
+            count=count, combine=combine, counters=self._stamp(src, trg),
+            op=op, data=data, compare=compare,
+        )
+
+    def _issue_comm(self, action: CommAction, win: Window) -> CommAction:
+        """Apply ``action`` to the window and charge its network cost."""
+        self.interceptors.before_comm(action)
+        if action.kind is OpKind.PUT:
+            win.write(action.trg, action.offset, action.data)
+        elif action.kind is OpKind.GET:
+            action = action.with_data(win.read(action.trg, action.offset, action.count))
+        elif action.kind is OpKind.COMPARE_AND_SWAP:
+            view = win.view(action.trg, action.offset, action.count)
+            previous = view.copy()
+            if np.array_equal(previous, action.compare):
+                view[...] = action.data
+            action = action.with_data(previous)
+        elif action.kind.is_atomic:
+            view = win.view(action.trg, action.offset, action.count)
+            previous = apply_accumulate(view, action.data, action.op)
+            if action.kind.is_get_like:
+                action = action.with_data(previous)
+        else:  # pragma: no cover - defensive
+            raise RmaError(f"unknown operation kind {action.kind!r}")
+        nbytes = action.count * win.itemsize
+        cost = self.cluster.costs.remote_transfer(nbytes, atomic=action.kind.is_atomic)
+        self.cluster.advance(action.src, cost, kind="comm")
+        self.epochs.record_access(action.src, action.trg)
+        self.recorder.record(action)
+        self.interceptors.after_comm(action)
+        self.cluster.metrics.incr(f"rma.{action.kind.value}", rank=action.src)
+        self.cluster.metrics.incr("rma.bytes_moved", nbytes, rank=action.src)
+        return action
+
+    def _issue_sync(self, action: SyncAction, *, cost: float) -> SyncAction:
+        self.interceptors.before_sync(action)
+        self.cluster.advance(action.src, cost, kind="comm")
+        self.recorder.record(action)
+        self.interceptors.after_sync(action)
+        self.cluster.metrics.incr(f"rma.{action.kind.value}", rank=action.src)
+        return action
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RmaRuntime(nprocs={self.nprocs}, windows={len(self.windows)}, "
+            f"interceptors={len(self.interceptors)})"
+        )

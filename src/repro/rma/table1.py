@@ -5,9 +5,10 @@ the categories of the formal model: ``put``, ``get``, ``lock``, ``unlock``,
 ``gsync`` and ``flush``.  Atomic read-modify-write functions appear in both
 the put and the get row, exactly as in the paper.
 
-The mapping is used by :mod:`benchmarks.bench_table1_categorization` to
-regenerate the table and by tests that validate the runtime's own operations
-against their declared categories.
+The mapping is validated by ``tests/test_table1.py`` (round-trips of
+:func:`categories_of` / :func:`operations_in_category` and of the runtime's
+own operations against their declared categories), and :func:`render_table1`
+produces the copy of the table embedded in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations

@@ -9,8 +9,8 @@ the reproduced tables and figures.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 __all__ = ["MetricsRegistry", "MetricsSnapshot"]
 

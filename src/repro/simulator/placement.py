@@ -18,8 +18,8 @@ construction, implemented in :mod:`repro.ft.groups` on top of a placement.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 from repro.errors import PlacementError
 from repro.simulator.topology import FailureDomainHierarchy

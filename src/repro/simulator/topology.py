@@ -13,8 +13,8 @@ number of elements at level ``j``.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
 
 from repro.errors import TopologyError
 

@@ -1,0 +1,166 @@
+"""RmaRuntime semantics: dispatch, costs, epochs/counters, failure surfacing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LockError, ProcessFailedError, SynchronizationError
+from repro.rma import AccumulateOp, RmaInterceptor, RmaRuntime
+from repro.simulator import Cluster, FailureSchedule
+
+
+@pytest.fixture
+def runtime():
+    rt = RmaRuntime(Cluster.simple(4, procs_per_node=2), record=True)
+    rt.win_allocate("w", 8)
+    return rt
+
+
+def test_put_get_round_trip(runtime):
+    runtime.put(0, 3, "w", 2, [1.0, 2.0, 3.0])
+    assert np.array_equal(runtime.get(1, 3, "w", 2, 3), [1.0, 2.0, 3.0])
+
+
+def test_accumulate_combines_into_target(runtime):
+    runtime.put(0, 1, "w", 0, [10.0, 10.0])
+    runtime.accumulate(0, 1, "w", 0, [1.0, 2.0], op=AccumulateOp.SUM)
+    assert np.array_equal(runtime.local(1, "w")[:2], [11.0, 12.0])
+
+
+def test_fetch_and_op_returns_previous_value(runtime):
+    runtime.put(0, 2, "w", 5, [7.0])
+    assert runtime.fetch_and_op(1, 2, "w", 5, 3.0) == 7.0
+    assert runtime.local(2, "w")[5] == 10.0
+
+
+def test_compare_and_swap_swaps_only_on_match(runtime):
+    runtime.put(0, 2, "w", 0, [5.0])
+    assert runtime.compare_and_swap(1, 2, "w", 0, compare=5.0, value=9.0) == 5.0
+    assert runtime.local(2, "w")[0] == 9.0
+    assert runtime.compare_and_swap(1, 2, "w", 0, compare=5.0, value=1.0) == 9.0
+    assert runtime.local(2, "w")[0] == 9.0
+
+
+def test_flush_closes_epoch_and_bumps_gc(runtime):
+    assert runtime.epochs.epoch(0, 1) == 0
+    action = runtime.put(0, 1, "w", 0, [1.0])
+    assert action.EC == 0 and action.GC == 0
+    runtime.flush(0, 1)
+    assert runtime.epochs.epoch(0, 1) == 1
+    assert runtime.counters.gc(0) == 1
+    later = runtime.put(0, 1, "w", 0, [2.0])
+    assert later.EC == 1 and later.GC == 1
+    # co holds between the two epochs (§2.3).
+    assert runtime.recorder.consistency_order(action, later)
+    assert not runtime.recorder.consistency_order(later, action)
+
+
+def test_lock_fetch_increments_sc_and_unlock_closes_epoch(runtime):
+    a = runtime.lock(0, 2)
+    b_sc = runtime.counters.sc_local(2)
+    assert a.counters.sc == 1 and b_sc == 1
+    with pytest.raises(LockError):
+        runtime.lock(0, 2)  # double lock on the same structure
+    epoch_before = runtime.epochs.epoch(0, 2)
+    runtime.unlock(0, 2)
+    assert runtime.epochs.epoch(0, 2) == epoch_before + 1
+    with pytest.raises(LockError):
+        runtime.unlock(0, 2)
+    # The next locker fetches the incremented counter.
+    assert runtime.lock(1, 2).counters.sc == 2
+
+
+def test_gsync_bumps_gnc_everywhere_and_closes_all_epochs(runtime):
+    runtime.put(0, 1, "w", 0, [1.0])
+    runtime.put(2, 3, "w", 0, [1.0])
+    runtime.gsync()
+    assert all(runtime.counters.gnc(r) == 1 for r in range(4))
+    assert runtime.epochs.epoch(0, 1) == 1
+    assert runtime.epochs.epoch(2, 3) == 1
+    assert not runtime.epochs.has_pending(0)
+
+
+def test_gsync_while_holding_a_lock_is_illegal(runtime):
+    runtime.lock(0, 1)
+    with pytest.raises(SynchronizationError):
+        runtime.gsync()
+
+
+def test_actions_advance_the_origin_clock(runtime):
+    before = runtime.cluster.now(0)
+    runtime.put(0, 1, "w", 0, np.zeros(4))
+    assert runtime.cluster.now(0) > before
+    assert runtime.cluster.now(2) == runtime.cluster.now(3)  # untouched ranks
+
+
+def test_scheduled_failure_surfaces_as_process_failed_error():
+    schedule = FailureSchedule.single_rank(2, 0.0)
+    rt = RmaRuntime(Cluster.simple(4, failure_schedule=schedule))
+    with pytest.raises(ProcessFailedError):
+        rt.win_allocate("w", 4)
+
+
+def test_direct_fail_rank_is_observed_and_propagated():
+    rt = RmaRuntime(Cluster.simple(4))
+    rt.win_allocate("w", 4)
+
+    class Spy(RmaInterceptor):
+        def __init__(self):
+            self.failed, self.respawned = [], []
+
+        def on_failure_detected(self, rank):
+            self.failed.append(rank)
+
+        def on_respawn(self, rank):
+            self.respawned.append(rank)
+
+    spy = Spy()
+    rt.add_interceptor(spy)
+    rt.cluster.fail_rank(3)
+    with pytest.raises(ProcessFailedError):
+        rt.put(0, 3, "w", 0, [1.0])
+    assert spy.failed == [3]
+    assert rt.windows.get("w").is_invalidated(3)
+    # A second observation does not re-fire the hook.
+    with pytest.raises(ProcessFailedError):
+        rt.get(1, 3, "w", 0, 1)
+    assert spy.failed == [3]
+    rt.cluster.respawn_rank(3)
+    rt.notify_respawn(3)
+    assert spy.respawned == [3]
+
+
+def test_failed_origin_cannot_issue_actions():
+    rt = RmaRuntime(Cluster.simple(4))
+    rt.win_allocate("w", 4)
+    rt.cluster.fail_rank(1)
+    with pytest.raises(ProcessFailedError):
+        rt.put(1, 0, "w", 0, [1.0])
+
+
+def test_gsync_observes_scheduled_failures():
+    # Rank 2 dies at t=1s (virtual), long after window allocation completes.
+    schedule = FailureSchedule.single_rank(2, 1.0)
+    rt = RmaRuntime(Cluster.simple(4, failure_schedule=schedule))
+    rt.win_allocate("w", 4)
+    rt.cluster.advance(0, 2.0)  # push virtual time past the failure
+    with pytest.raises(ProcessFailedError):
+        rt.gsync()
+
+
+def test_put_payload_is_decoupled_from_caller_buffer(runtime):
+    buf = np.array([1.0, 2.0])
+    action = runtime.put(0, 1, "w", 0, buf)
+    buf[0] = 99.0  # caller reuses its buffer after the put
+    assert np.array_equal(action.data, [1.0, 2.0])  # recorded history is stable
+    assert np.array_equal(runtime.local(1, "w")[:2], [1.0, 2.0])
+
+
+def test_metrics_track_operations(runtime):
+    runtime.put(0, 1, "w", 0, [1.0, 2.0])
+    runtime.get(1, 0, "w", 0, 2)
+    runtime.gsync()
+    metrics = runtime.cluster.metrics
+    assert metrics.get("rma.put") == 1
+    assert metrics.get("rma.get") == 1
+    assert metrics.get("rma.gsyncs") == 1
+    assert metrics.get("rma.bytes_moved") == 32

@@ -1,0 +1,79 @@
+"""Round-trip tests for the paper's Table 1 categorization."""
+
+import pytest
+
+from repro.rma.actions import ActionCategory, OpKind
+from repro.rma.table1 import (
+    TABLE1,
+    categories_of,
+    operations_in_category,
+    render_table1,
+)
+
+
+def test_categories_of_round_trips_every_entry():
+    for entry in TABLE1:
+        assert categories_of(entry.language, entry.operation) == entry.categories
+
+
+def test_operations_in_category_round_trips_every_entry():
+    for entry in TABLE1:
+        for category in entry.categories:
+            assert entry in operations_in_category(category, entry.language)
+            assert entry in operations_in_category(category)
+
+
+def test_entries_never_leak_into_foreign_categories():
+    for entry in TABLE1:
+        for category in ActionCategory:
+            if category not in entry.categories:
+                assert entry not in operations_in_category(category, entry.language)
+
+
+def test_unknown_operation_has_no_categories():
+    assert categories_of("mpi3", "MPI_Does_not_exist") == ()
+    assert categories_of("chapel", "MPI_Put") == ()
+
+
+def test_atomics_are_both_put_and_get():
+    # The paper lists atomic read-modify-write functions in both rows.
+    for op in ("MPI_Get_accumulate", "MPI_Fetch_and_op", "MPI_Compare_and_swap"):
+        cats = categories_of("mpi3", op)
+        assert ActionCategory.PUT in cats and ActionCategory.GET in cats
+
+
+def test_every_language_covers_all_synchronization_categories():
+    for language in ("mpi3", "upc", "fortran2008"):
+        for category in (
+            ActionCategory.LOCK,
+            ActionCategory.UNLOCK,
+            ActionCategory.GSYNC,
+            ActionCategory.FLUSH,
+        ):
+            assert operations_in_category(category, language), (
+                f"{language} has no {category.value} operation"
+            )
+
+
+def test_render_table1_mentions_every_operation_and_category():
+    rendered = render_table1()
+    for entry in TABLE1:
+        assert entry.operation in rendered
+    for category in ActionCategory:
+        assert any(line.startswith(category.value) for line in rendered.splitlines())
+
+
+@pytest.mark.parametrize(
+    ("kind", "put_like", "get_like"),
+    [
+        (OpKind.PUT, True, False),
+        (OpKind.GET, False, True),
+        (OpKind.ACCUMULATE, True, False),
+        (OpKind.GET_ACCUMULATE, True, True),
+        (OpKind.FETCH_AND_OP, True, True),
+        (OpKind.COMPARE_AND_SWAP, True, True),
+    ],
+)
+def test_runtime_opkinds_match_declared_categories(kind, put_like, get_like):
+    assert kind.is_put_like is put_like
+    assert kind.is_get_like is get_like
