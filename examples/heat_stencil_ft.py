@@ -1,18 +1,20 @@
-"""Fault-tolerant 1-D heat stencil on the simulated RMA runtime.
+"""Fault-tolerant 1-D heat stencil, written against the ``repro.api`` session.
 
 An SPMD Jacobi iteration: each rank owns ``n_local`` interior cells of a 1-D
-rod in a window ``u`` with one ghost cell on each side.  Every iteration the
-ranks exchange halos with one-sided ``put``, synchronize with a ``gsync`` and
-update their interior.  Coordinated in-memory checkpoints are taken every
-``ckpt_interval`` iterations (or on demand when the put/get log grows past a
-threshold); when a fail-stop failure is observed mid-run, the
-:class:`~repro.ft.recovery.RecoveryManager` respawns the dead ranks, restores
-every window from the surviving buddy copies and the iteration resumes from
-the checkpointed step.
+rod in a window ``u`` with one ghost cell on each side.  Every step the
+kernel puts its boundary cells into its neighbours' ghost cells, suspends at
+a ``gsync`` (halo visibility), and updates its interior.
 
-Because the computation is deterministic, the recovered run finishes with a
-final temperature field **bit-identical** to a failure-free run — which
-``main()`` demonstrates under an exponential failure schedule.
+The kernel contains **no** fault-tolerance code at all.  The session declared
+by :class:`repro.FaultTolerancePolicy` takes coordinated in-memory
+checkpoints every ``ckpt_interval`` steps (or on demand when the put/get log
+grows past a threshold), and when a fail-stop failure is observed mid-run it
+respawns the dead ranks, restores every window from the surviving buddy
+copies and resumes the step loop from the checkpointed step — transparently.
+
+Because the cooperative schedule is deterministic, the recovered run finishes
+with a final temperature field **bit-identical** to a failure-free run —
+which ``main()`` demonstrates under an exponential failure schedule.
 
 Run with::
 
@@ -25,10 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ProcessFailedError
-from repro.ft import ActionLog, CoordinatedCheckpointer, RecoveryManager
-from repro.rma import RmaRuntime
-from repro.simulator import Cluster, FailureSchedule, exponential_schedule
+import repro
+from repro.simulator import FailureSchedule, exponential_schedule
 
 ALPHA = 0.1  # diffusion coefficient of the explicit update
 
@@ -46,7 +46,7 @@ class StencilResult:
     def describe(self) -> str:
         return (
             f"{self.iterations_executed} iterations executed, "
-            f"{self.checkpoints:.0f} checkpoints, {self.recoveries:.0f} recoveries, "
+            f"{self.checkpoints} checkpoints, {self.recoveries} recoveries, "
             f"makespan {self.elapsed * 1e3:.3f} ms (virtual)"
         )
 
@@ -60,6 +60,27 @@ def _initial_field(nprocs: int, n_local: int) -> np.ndarray:
     return field
 
 
+def make_stencil_kernel(n_local: int):
+    """One Jacobi step from a single rank's point of view."""
+
+    def kernel(ctx: repro.RankContext, step: int):
+        u = ctx.win("u")
+        mine = u.local
+        # Halo exchange: put boundary cells into the neighbours' ghost cells.
+        if ctx.rank > 0:
+            u[ctx.rank - 1, n_local + 1] = mine[1]
+        if ctx.rank < ctx.nranks - 1:
+            u[ctx.rank + 1, 0] = mine[n_local]
+        yield ctx.gsync()  # halos are visible from here on
+        interior = mine[1 : n_local + 1]
+        mine[1 : n_local + 1] = interior + ALPHA * (
+            mine[0:n_local] - 2.0 * interior + mine[2 : n_local + 2]
+        )
+        ctx.compute(4.0 * n_local)
+
+    return kernel
+
+
 def run_stencil(
     *,
     nprocs: int = 8,
@@ -71,82 +92,34 @@ def run_stencil(
     demand_threshold_bytes: int | None = None,
     buddy_level: int = 1,
 ) -> StencilResult:
-    """Run the stencil to completion, recovering from any injected failures."""
-    cluster = Cluster.simple(
-        nprocs, procs_per_node=procs_per_node, failure_schedule=failure_schedule
+    """Run the stencil to completion; the session recovers injected failures."""
+    policy = repro.FaultTolerancePolicy(
+        interval=ckpt_interval,
+        demand_threshold_bytes=demand_threshold_bytes,
+        buddy_level=buddy_level,
     )
-    runtime = RmaRuntime(cluster)
-    log = ActionLog()
-    checkpointer = CoordinatedCheckpointer(
-        level=buddy_level, log=log, demand_threshold_bytes=demand_threshold_bytes
-    )
-    runtime.add_interceptor(log)
-    runtime.add_interceptor(checkpointer)
-    recovery = RecoveryManager(runtime, checkpointer)
-
-    runtime.win_allocate("u", n_local + 2)
-    initial = _initial_field(nprocs, n_local)
-    for rank in range(nprocs):
-        runtime.local(rank, "u")[1 : n_local + 1] = initial[
-            rank * n_local : (rank + 1) * n_local
-        ]
-
-    it = 0
-    executed = 0
-    while it < iters:
-        try:
-            if it % ckpt_interval == 0:
-                checkpointer.checkpoint(tag=it)
-            elif demand_threshold_bytes is not None:
-                checkpointer.maybe_checkpoint(tag=it)
-            _halo_exchange(runtime, nprocs, n_local)
-            runtime.gsync()
-            _update_interior(runtime, nprocs, n_local)
-            it += 1
-            executed += 1
-        except ProcessFailedError:
-            # A further failure can strike *during* recovery (its closing
-            # barrier observes it); keep recovering until one attempt
-            # completes — the store survives across attempts.
-            while True:
-                try:
-                    it = recovery.recover()
-                    break
-                except ProcessFailedError:
-                    continue
-    runtime.finalize()
-
-    field = np.concatenate(
-        [runtime.local(rank, "u")[1 : n_local + 1].copy() for rank in range(nprocs)]
-    )
-    metrics = cluster.metrics
+    with repro.launch(
+        nprocs,
+        topology=repro.Topology(procs_per_node=procs_per_node),
+        ft=policy,
+        failures=failure_schedule,
+        sync_each_step=False,  # the kernel's mid-step gsync is the only sync
+    ) as job:
+        job.allocate("u", n_local + 2)
+        initial = _initial_field(nprocs, n_local)
+        for ctx in job.contexts:
+            ctx.local("u")[1 : n_local + 1] = initial[
+                ctx.rank * n_local : (ctx.rank + 1) * n_local
+            ]
+        report = job.run(make_stencil_kernel(n_local), steps=iters)
+        field = job.gather("u", part=slice(1, n_local + 1))
     return StencilResult(
         field=field,
-        iterations_executed=executed,
-        recoveries=metrics.get("ft.recoveries"),
-        checkpoints=metrics.get("ft.checkpoints"),
-        elapsed=cluster.elapsed(),
+        iterations_executed=report.steps_executed,
+        recoveries=report.recoveries,
+        checkpoints=report.checkpoints,
+        elapsed=report.elapsed,
     )
-
-
-def _halo_exchange(runtime: RmaRuntime, nprocs: int, n_local: int) -> None:
-    """Each rank puts its boundary cells into its neighbours' ghost cells."""
-    for rank in range(nprocs):
-        u = runtime.local(rank, "u")
-        if rank > 0:
-            runtime.put(rank, rank - 1, "u", n_local + 1, u[1:2])
-        if rank < nprocs - 1:
-            runtime.put(rank, rank + 1, "u", 0, u[n_local : n_local + 1])
-
-
-def _update_interior(runtime: RmaRuntime, nprocs: int, n_local: int) -> None:
-    """Explicit Jacobi update of every rank's interior cells."""
-    for rank in range(nprocs):
-        u = runtime.local(rank, "u")
-        interior = u[1 : n_local + 1]
-        updated = interior + ALPHA * (u[0:n_local] - 2.0 * interior + u[2 : n_local + 2])
-        u[1 : n_local + 1] = updated
-        runtime.compute(rank, 4.0 * n_local)
 
 
 def main() -> None:

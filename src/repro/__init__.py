@@ -7,11 +7,38 @@ The package is layered bottom-up:
 * :mod:`repro.rma` — the paper's formal RMA model (actions, epochs, counters,
   orders) and the :class:`~repro.rma.runtime.RmaRuntime` execution layer;
 * :mod:`repro.ft` — the fault-tolerance protocols built on the runtime
-  (topology-aware in-memory checkpointing and recovery).
+  (topology-aware in-memory checkpointing and recovery);
+* :mod:`repro.api` — the rank-centric session API: :func:`launch` a job,
+  write kernels against per-rank :class:`~repro.api.context.RankContext`
+  objects, and let the session checkpoint and recover transparently.
+
+Applications should program against :mod:`repro.api` (re-exported here);
+the lower layers remain public for protocol work and instrumentation.
 """
 
+from repro.api import (
+    Collective,
+    FaultTolerancePolicy,
+    Job,
+    JobReport,
+    RankContext,
+    Topology,
+    WindowHandle,
+    launch,
+)
 from repro.errors import ReproError
 
-__all__ = ["ReproError", "__version__"]
+__all__ = [
+    "Collective",
+    "FaultTolerancePolicy",
+    "Job",
+    "JobReport",
+    "RankContext",
+    "Topology",
+    "WindowHandle",
+    "launch",
+    "ReproError",
+    "__version__",
+]
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"

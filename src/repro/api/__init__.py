@@ -1,0 +1,49 @@
+"""The rank-centric session API — how programs are written against the runtime.
+
+This package is the application-facing redesign of the reproduction: instead
+of hand-wiring ``Cluster`` + ``RmaRuntime`` + ``ActionLog`` +
+``CoordinatedCheckpointer`` + ``RecoveryManager`` and hand-rolling the
+catch/rollback/resume loop, a program declares a topology and a
+fault-tolerance policy, launches a session, and expresses its computation as
+plain per-rank kernels::
+
+    import repro
+
+    def kernel(ctx, step):
+        w = ctx.win("u")
+        w[(ctx.rank + 1) % ctx.nranks, 0] = w.local[1]   # one-sided put
+        yield ctx.gsync()                                 # collective
+        w.local[1:-1] += 0.5
+
+    with repro.launch(nprocs=8, ft=repro.FaultTolerancePolicy(interval=10)) as job:
+        job.allocate("u", 34)
+        job.run(kernel, steps=100)
+
+* :mod:`~repro.api.policy` — :class:`FaultTolerancePolicy` and
+  :class:`Topology`, the declarative session inputs;
+* :mod:`~repro.api.context` — :class:`RankContext` and :class:`WindowHandle`,
+  the per-rank view kernels program against;
+* :mod:`~repro.api.scheduler` — the deterministic cooperative scheduler
+  round-robining kernels over alive ranks;
+* :mod:`~repro.api.session` — :func:`launch`, :class:`Job` and
+  :class:`JobReport`; the session owns checkpointing and recovery, exactly as
+  the paper's library does via PMPI interposition (§6.1).
+"""
+
+from repro.api.context import Collective, RankContext, WindowHandle
+from repro.api.policy import FaultTolerancePolicy, Topology
+from repro.api.scheduler import CooperativeScheduler, Kernel
+from repro.api.session import Job, JobReport, launch
+
+__all__ = [
+    "Collective",
+    "RankContext",
+    "WindowHandle",
+    "FaultTolerancePolicy",
+    "Topology",
+    "CooperativeScheduler",
+    "Kernel",
+    "Job",
+    "JobReport",
+    "launch",
+]

@@ -1,0 +1,114 @@
+"""Declarative specifications consumed by :func:`repro.api.launch`.
+
+Instead of hand-wiring ``Cluster`` + ``RmaRuntime`` + ``ActionLog`` +
+``CoordinatedCheckpointer`` + ``RecoveryManager``, a program *declares* what
+it wants:
+
+* :class:`Topology` — the shape of the simulated machine (processes per node,
+  an optional failure-domain hierarchy, an optional cost model);
+* :class:`FaultTolerancePolicy` — how the session should protect the run
+  (checkpoint interval, demand threshold, buddy level, versions kept).
+
+The session turns these into the concrete stack via
+:meth:`Topology.build` and :meth:`FaultTolerancePolicy.install`; user code
+never sees the underlying objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import PolicyError
+from repro.ft.stack import FtStack, build_ft_stack
+from repro.simulator.cluster import Cluster
+from repro.simulator.costs import CostModel
+from repro.simulator.failures import FailureSchedule
+from repro.simulator.topology import FailureDomainHierarchy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.rma.runtime import RmaRuntime
+
+__all__ = ["FaultTolerancePolicy", "Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Shape of the simulated machine a session runs on.
+
+    The default packs two processes per node so that even small jobs span
+    several failure domains — a prerequisite for buddy checkpointing at node
+    level (``buddy_level=1``).
+    """
+
+    procs_per_node: int = 2
+    fdh: FailureDomainHierarchy | None = None
+    cost_model: CostModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.procs_per_node < 1:
+            raise PolicyError("procs_per_node must be at least 1")
+
+    def build(
+        self, nprocs: int, failure_schedule: FailureSchedule | None = None
+    ) -> Cluster:
+        """Instantiate the simulated cluster for an ``nprocs``-process job."""
+        if nprocs < 1:
+            raise PolicyError("a job needs at least one process")
+        return Cluster.simple(
+            nprocs,
+            procs_per_node=self.procs_per_node,
+            cost_model=self.cost_model,
+            failure_schedule=failure_schedule,
+            fdh=self.fdh,
+        )
+
+
+@dataclass(frozen=True)
+class FaultTolerancePolicy:
+    """How a session protects a run — the whole ftRMA protocol, declaratively.
+
+    Attributes
+    ----------
+    interval:
+        Take a coordinated checkpoint every ``interval`` job steps (§3.1).
+        ``None`` disables periodic checkpoints; the session still takes one
+        initial checkpoint so recovery is always possible.
+    demand_threshold_bytes:
+        Per-rank put/get-log volume that triggers a demand checkpoint (§6.2);
+        ``None`` disables demand checkpoints.
+    buddy_level:
+        FDH level across which checkpoint buddies are spread (§5); ``1``
+        means "a different compute node".
+    keep_versions:
+        Committed checkpoint versions retained in memory.
+    log_actions:
+        Whether to keep the put/get :class:`~repro.ft.checkpoint.ActionLog`;
+        forced on when ``demand_threshold_bytes`` is set.
+    """
+
+    interval: int | None = 10
+    demand_threshold_bytes: int | None = None
+    buddy_level: int = 1
+    keep_versions: int = 2
+    log_actions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval < 1:
+            raise PolicyError("checkpoint interval must be at least 1 step")
+        if self.demand_threshold_bytes is not None and self.demand_threshold_bytes < 1:
+            raise PolicyError("demand_threshold_bytes must be positive")
+        if self.buddy_level < 1:
+            raise PolicyError("buddy_level must be at least 1")
+        if self.keep_versions < 1:
+            raise PolicyError("keep_versions must be at least 1")
+
+    def install(self, runtime: "RmaRuntime") -> FtStack:
+        """Wire the protocol onto ``runtime`` (log, checkpointer, recovery)."""
+        return build_ft_stack(
+            runtime,
+            buddy_level=self.buddy_level,
+            demand_threshold_bytes=self.demand_threshold_bytes,
+            keep_versions=self.keep_versions,
+            log_actions=self.log_actions,
+        )

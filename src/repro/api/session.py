@@ -1,0 +1,301 @@
+"""Sessions: launch an SPMD job, run kernels, survive failures transparently.
+
+:func:`launch` is the single entry point of the high-level API::
+
+    import repro
+
+    with repro.launch(nprocs=8, ft=repro.FaultTolerancePolicy(interval=10)) as job:
+        job.allocate("u", 64)
+        for ctx in job.contexts:
+            ctx.local("u")[:] = ctx.rank
+        report = job.run(kernel, steps=100)
+
+The session — not the application — owns the fault-tolerance wiring: it
+installs the action-log interceptor and the coordinated checkpointer as
+declared by the :class:`~repro.api.policy.FaultTolerancePolicy`, takes
+periodic and demand checkpoints between steps, and when a
+:class:`~repro.errors.ProcessFailedError` surfaces anywhere in a step it runs
+the :class:`~repro.ft.recovery.RecoveryManager` and restarts the step loop
+from the last committed checkpoint.  Kernels therefore contain **zero**
+recovery logic; because the cooperative schedule is deterministic, a
+recovered run finishes bit-identical to a failure-free one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.context import RankContext
+from repro.api.policy import FaultTolerancePolicy, Topology
+from repro.api.scheduler import CooperativeScheduler, Kernel
+from repro.errors import ApiError, ProcessFailedError, RecoveryError
+from repro.ft.stack import FtStack
+from repro.rma.runtime import RmaRuntime
+from repro.rma.window import Window
+from repro.simulator.failures import FailureSchedule
+from repro.simulator.metrics import MetricsSnapshot
+
+__all__ = ["Job", "JobReport", "launch"]
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Snapshot of a session's counters, as returned by :meth:`Job.run`.
+
+    All counters are cumulative over the session's lifetime: a second
+    :meth:`Job.run` call on the same job reports the totals of both phases
+    (diff two :meth:`Job.report` snapshots for per-phase numbers).
+    """
+
+    #: Kernel steps actually executed, counting re-executions after rollback.
+    steps_executed: int
+    #: Coordinated checkpoints taken so far (periodic, initial and demand).
+    checkpoints: int
+    #: Demand checkpoints among them.
+    demand_checkpoints: int
+    #: Completed recoveries (each may cover several simultaneous failures).
+    recoveries: int
+    #: Job makespan in virtual seconds.
+    elapsed: float
+    #: Full metrics snapshot for detailed reporting.
+    metrics: MetricsSnapshot
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.steps_executed} steps executed, "
+            f"{self.checkpoints} checkpoints ({self.demand_checkpoints} on demand), "
+            f"{self.recoveries} recoveries, "
+            f"makespan {self.elapsed * 1e3:.3f} ms (virtual)"
+        )
+
+
+class Job:
+    """A launched SPMD session: cluster + runtime + scheduler + FT policy.
+
+    Prefer :func:`launch` over constructing this directly.  Use as a context
+    manager so the runtime is finalized (interceptor statistics flushed) on
+    exit.
+    """
+
+    def __init__(
+        self,
+        nprocs: int = 8,
+        *,
+        topology: Topology | None = None,
+        ft: FaultTolerancePolicy | None = None,
+        failures: FailureSchedule | None = None,
+        record: bool = False,
+        sync_each_step: bool = True,
+    ) -> None:
+        self.topology = topology or Topology()
+        self.policy = ft
+        self.cluster = self.topology.build(nprocs, failure_schedule=failures)
+        self.runtime = RmaRuntime(self.cluster, record=record)
+        self.contexts: list[RankContext] = [
+            RankContext(self.runtime, rank) for rank in range(nprocs)
+        ]
+        self.scheduler = CooperativeScheduler(self.runtime, self.contexts)
+        self.sync_each_step = sync_each_step
+        self.ft: FtStack | None = ft.install(self.runtime) if ft is not None else None
+        self._have_checkpoint = False
+        self._steps_executed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        """Number of ranks in the job."""
+        return self.cluster.nprocs
+
+    def __enter__(self) -> "Job":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finalize()
+
+    def finalize(self) -> None:
+        """Finish the session (idempotent)."""
+        self.runtime.finalize()
+
+    # ------------------------------------------------------------------
+    # Windows and data
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, size: int, dtype=np.float64) -> Window:
+        """Collectively allocate a window of ``size`` elements on every rank."""
+        return self.runtime.win_allocate(name, size, np.dtype(dtype))
+
+    def local(self, rank: int, window: str) -> np.ndarray:
+        """Mutable view of ``rank``'s buffer of ``window`` (initialization/IO)."""
+        return self.runtime.local_view(rank, window)
+
+    def each_rank(self, fn) -> None:
+        """Run ``fn(ctx)`` once per rank in rank order (initialization helper)."""
+        for ctx in self.contexts:
+            fn(ctx)
+
+    def gather(self, window: str, part: slice | None = None) -> np.ndarray:
+        """Concatenate every rank's (sliced) buffer of ``window``, rank-major."""
+        sl = part if part is not None else slice(None)
+        return np.concatenate(
+            [self.local(rank, window)[sl].copy() for rank in range(self.nranks)]
+        )
+
+    # ------------------------------------------------------------------
+    # The step loop — transparent fault tolerance lives here
+    # ------------------------------------------------------------------
+    def run(self, kernel: Kernel, steps: int, *, start_step: int = 0) -> JobReport:
+        """Drive ``kernel`` for ``steps`` SPMD steps, recovering failures.
+
+        Between steps the session takes coordinated checkpoints per the
+        declared policy (every ``interval`` steps; on demand when the put/get
+        log passes the threshold; always one before the first step so
+        rollback is possible).  A failure observed anywhere — inside a
+        kernel, a collective, or a checkpoint — rolls the job back to the
+        last committed checkpoint and resumes; kernels are simply re-entered
+        at the restored step number, so all cross-step state must live in
+        windows (which is what makes the replay bit-identical).
+
+        Every ``run`` call opens with a checkpoint at ``start_step``, so a
+        rollback never crosses back into a previous phase that may have used
+        a different kernel.  Two failure modes are not transparently
+        recoverable and surface to the caller: a failure striking before the
+        phase's first checkpoint has committed, while no usable version from
+        an earlier phase exists either
+        (:class:`~repro.errors.RecoveryError`), and the loss of a rank
+        together with its buddy
+        (:class:`~repro.errors.CatastrophicFailure`).  Without a
+        fault-tolerance policy, failures propagate to the caller unchanged.
+        """
+        if steps < 0:
+            raise ApiError("steps must be non-negative")
+        # Open the phase with a fresh checkpoint: rollback targets must not
+        # predate start_step, or they would be replayed with this kernel.
+        self._have_checkpoint = False
+        end = start_step + steps
+        step = start_step
+        while step < end:
+            try:
+                self._checkpoint_hook(step)
+                self.scheduler.run_step(kernel, step)
+                if self.sync_each_step:
+                    self.runtime.gsync()
+                step += 1
+                self._steps_executed += 1
+            except ProcessFailedError:
+                if self.ft is None:
+                    raise
+                step = self._recover(start_step)
+        return self.report()
+
+    def report(self) -> JobReport:
+        """Current counters of the session as an immutable report."""
+        metrics = self.cluster.metrics
+        return JobReport(
+            steps_executed=self._steps_executed,
+            checkpoints=int(metrics.get("ft.checkpoints")),
+            demand_checkpoints=int(metrics.get("ft.demand_checkpoints")),
+            recoveries=int(metrics.get("ft.recoveries")),
+            elapsed=self.cluster.elapsed(),
+            metrics=metrics.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def _checkpoint_hook(self, step: int) -> None:
+        """Apply the declared checkpoint policy at the start of ``step``.
+
+        The step boundary is also a failure observation point: a failure that
+        fired since the last synchronization must surface as
+        :class:`ProcessFailedError` (driving recovery), not as a
+        :class:`~repro.errors.CheckpointError` out of the checkpointer.
+        """
+        if self.ft is None:
+            return
+        self.runtime.observe_failures()
+        dead = self.cluster.failed_ranks()
+        if dead:
+            raise ProcessFailedError(
+                dead[0], f"step {step} observed failed ranks {dead}"
+            )
+        policy = self.policy
+        assert policy is not None
+        interval_due = policy.interval is not None and step % policy.interval == 0
+        if interval_due or not self._have_checkpoint:
+            self.ft.checkpointer.checkpoint(tag=step)
+            self._have_checkpoint = True
+        elif policy.demand_threshold_bytes is not None:
+            self.ft.checkpointer.maybe_checkpoint(tag=step)
+
+    def _recover(self, start_step: int) -> int:
+        """Roll back to the newest usable checkpoint; return its step.
+
+        A further failure can strike *during* recovery (its closing barrier
+        observes it); recovery is retried until one attempt completes — the
+        checkpoint store survives across attempts.
+        """
+        assert self.ft is not None
+        while True:
+            try:
+                tag = self.ft.recovery.recover()
+            except ProcessFailedError:
+                continue
+            step = int(tag)
+            if step < start_step:
+                # Only possible when the phase-opening checkpoint itself was
+                # interrupted: the restored state belongs to an earlier phase
+                # whose kernel this run() does not know, so replaying it here
+                # would be silently wrong.
+                raise RecoveryError(
+                    f"recovery rolled back to step {step}, before this run's "
+                    f"start_step {start_step}; the restored state predates "
+                    f"the current phase and cannot be replayed with its kernel"
+                )
+            return step
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ft = "ft" if self.ft is not None else "no-ft"
+        return f"Job(nranks={self.nranks}, {ft}, steps_executed={self._steps_executed})"
+
+
+def launch(
+    nprocs: int = 8,
+    *,
+    topology: Topology | None = None,
+    ft: FaultTolerancePolicy | None = None,
+    failures: FailureSchedule | None = None,
+    record: bool = False,
+    sync_each_step: bool = True,
+) -> Job:
+    """Launch an SPMD session of ``nprocs`` ranks on a simulated cluster.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks.
+    topology:
+        Machine shape (:class:`~repro.api.policy.Topology`); two processes
+        per node by default so buddy checkpointing has domains to spread over.
+    ft:
+        Declarative fault-tolerance policy.  ``None`` runs unprotected:
+        failures propagate out of :meth:`Job.run`.
+    failures:
+        Fail-stop schedule to inject (tests, resilience studies).
+    record:
+        Record every action in the runtime's
+        :class:`~repro.rma.ordering.OrderRecorder` (trace/determinism tests).
+    sync_each_step:
+        Close every job step with an implicit ``gsync`` — the BSP-style
+        superstep boundary where failures are usually observed.  Disable for
+        kernels that synchronize explicitly.
+    """
+    return Job(
+        nprocs,
+        topology=topology,
+        ft=ft,
+        failures=failures,
+        record=record,
+        sync_each_step=sync_each_step,
+    )

@@ -107,6 +107,28 @@ class ErasureCodingError(FaultToleranceError):
 
 
 # ---------------------------------------------------------------------------
+# Session API errors
+# ---------------------------------------------------------------------------
+
+
+class ApiError(ReproError):
+    """Generic misuse of the high-level session API (:mod:`repro.api`)."""
+
+
+class PolicyError(ApiError):
+    """Invalid :class:`~repro.api.policy.FaultTolerancePolicy` or topology spec."""
+
+
+class SchedulerError(ApiError):
+    """A kernel violated the cooperative scheduling contract.
+
+    Raised when a plain-function kernel issues a collective without yielding
+    it, when ranks yield mismatched collectives in the same phase, or when a
+    kernel yields something that is not a collective token.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Reliability-model errors
 # ---------------------------------------------------------------------------
 

@@ -7,7 +7,10 @@
   checkpoints driven by the interceptor's put/get log (§3.1, §6.2);
 * :mod:`~repro.ft.recovery` — the recovery path: respawn a dead rank,
   reallocate its invalidated window buffers and restore every rank from the
-  newest surviving coordinated checkpoint (§4.2–§4.3).
+  newest surviving coordinated checkpoint (§4.2–§4.3);
+* :mod:`~repro.ft.stack` — one-call construction of the whole protocol
+  (log + checkpointer + recovery) from plain parameters, used by the
+  declarative policy of :mod:`repro.api`.
 """
 
 from repro.ft.checkpoint import (
@@ -18,6 +21,7 @@ from repro.ft.checkpoint import (
 )
 from repro.ft.groups import buddy_assignment, group_spread, t_aware_groups
 from repro.ft.recovery import RecoveryManager
+from repro.ft.stack import FtStack, build_ft_stack
 
 __all__ = [
     "ActionLog",
@@ -28,4 +32,6 @@ __all__ = [
     "group_spread",
     "t_aware_groups",
     "RecoveryManager",
+    "FtStack",
+    "build_ft_stack",
 ]

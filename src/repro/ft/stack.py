@@ -1,0 +1,92 @@
+"""Policy-driven construction of the fault-tolerance stack.
+
+Hand-wiring the ftRMA protocol takes four objects in the right order: an
+:class:`~repro.ft.checkpoint.ActionLog` interceptor, an
+:class:`~repro.ft.checkpoint.InMemoryCheckpointStore`, a
+:class:`~repro.ft.checkpoint.CoordinatedCheckpointer` registered *after* the
+log, and a :class:`~repro.ft.recovery.RecoveryManager` bound to both.
+:func:`build_ft_stack` performs that wiring once, from plain keyword
+parameters, so higher layers (notably the declarative
+:class:`~repro.api.policy.FaultTolerancePolicy` of :mod:`repro.api`) can
+install the whole protocol with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ft.checkpoint import (
+    ActionLog,
+    CoordinatedCheckpointer,
+    InMemoryCheckpointStore,
+)
+from repro.ft.recovery import RecoveryManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.rma.runtime import RmaRuntime
+
+__all__ = ["FtStack", "build_ft_stack"]
+
+
+@dataclass
+class FtStack:
+    """The fully-wired fault-tolerance protocol of one job."""
+
+    #: Put/get log driving demand checkpoints; ``None`` when logging is off.
+    log: ActionLog | None
+    checkpointer: CoordinatedCheckpointer
+    recovery: RecoveryManager
+
+    @property
+    def store(self) -> InMemoryCheckpointStore:
+        """The in-memory checkpoint store shared by checkpointer and recovery."""
+        return self.checkpointer.store
+
+    def uninstall(self, runtime: "RmaRuntime") -> None:
+        """Remove the stack's interceptors from ``runtime``."""
+        if self.log is not None:
+            runtime.remove_interceptor(self.log)
+        runtime.remove_interceptor(self.checkpointer)
+
+
+def build_ft_stack(
+    runtime: "RmaRuntime",
+    *,
+    buddy_level: int = 1,
+    demand_threshold_bytes: int | None = None,
+    keep_versions: int = 2,
+    log_actions: bool = True,
+) -> FtStack:
+    """Install the ftRMA protocol on ``runtime`` and return its pieces.
+
+    Parameters
+    ----------
+    buddy_level:
+        FDH level across which checkpoint buddies are spread (§5).
+    demand_threshold_bytes:
+        Per-rank logged volume that triggers a demand checkpoint (§6.2);
+        ``None`` disables demand checkpoints.
+    keep_versions:
+        How many committed checkpoint versions the store retains.
+    log_actions:
+        Whether to install the put/get :class:`ActionLog`.  Forced on when
+        ``demand_threshold_bytes`` is set (the threshold is measured on the
+        log).
+    """
+    log: ActionLog | None = None
+    if log_actions or demand_threshold_bytes is not None:
+        log = ActionLog()
+        runtime.add_interceptor(log)
+    checkpointer = CoordinatedCheckpointer(
+        level=buddy_level,
+        store=InMemoryCheckpointStore(keep_versions=keep_versions),
+        log=log,
+        demand_threshold_bytes=demand_threshold_bytes,
+    )
+    runtime.add_interceptor(checkpointer)
+    return FtStack(
+        log=log,
+        checkpointer=checkpointer,
+        recovery=RecoveryManager(runtime, checkpointer),
+    )

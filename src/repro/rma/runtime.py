@@ -99,6 +99,22 @@ class RmaRuntime:
         self.cluster.ensure_alive(rank)
         return self.windows.get(window).local(rank)
 
+    def local_view(
+        self, rank: int, window: str, offset: int = 0, count: int | None = None
+    ) -> np.ndarray:
+        """A mutable view of ``count`` elements of ``rank``'s own buffer.
+
+        Context-friendly entry point used by :mod:`repro.api`: per-rank
+        contexts hand kernels numpy views of their own window slice so local
+        loads/stores need no runtime call at all.  ``count=None`` means "to
+        the end of the window".
+        """
+        self.cluster.ensure_alive(rank)
+        win = self.windows.get(window)
+        if count is None:
+            count = win.size - offset
+        return win.view(rank, offset, count)
+
     # ------------------------------------------------------------------
     # Communication actions
     # ------------------------------------------------------------------
