@@ -96,6 +96,7 @@ def run_kv(
     demand_threshold_bytes: int = 512,
     procs_per_node: int = 2,
     failure_schedule: FailureSchedule | None = None,
+    backend: str = "sim",
 ) -> KvResult:
     """Run the workload; the session recovers injected failures on demand."""
     policy = repro.FaultTolerancePolicy(
@@ -107,6 +108,7 @@ def run_kv(
         topology=repro.Topology(procs_per_node=procs_per_node),
         ft=policy,
         failures=failure_schedule,
+        backend=backend,
     ) as job:
         job.allocate("table", SLOTS)
         report = job.run(make_kv_kernel(seed), steps=steps)
@@ -137,6 +139,18 @@ def main() -> None:
 
     identical = np.array_equal(baseline.table, recovered.table)
     print(f"final tables bit-identical: {identical}")
+    if not identical:
+        raise SystemExit(1)
+
+    # The lock-protected atomics are blocking (they need their fetched
+    # values), which exercises the mixed blocking path on the batching
+    # backend: every backend must produce the same table, failures included.
+    vector = run_kv(
+        nprocs=nprocs, steps=steps, seed=seed,
+        failure_schedule=schedule, backend="vector",
+    )
+    identical = np.array_equal(recovered.table, vector.table)
+    print(f"vector backend with failures: bit-identical to sim = {identical}")
     if not identical:
         raise SystemExit(1)
 

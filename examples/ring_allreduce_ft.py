@@ -61,19 +61,24 @@ def _initial_vector(rank: int, nranks: int) -> np.ndarray:
 
 
 def ring_allreduce_kernel(ctx: repro.RankContext, step: int) -> None:
-    """One ring hop: send one chunk to the right neighbour."""
+    """One ring hop: send one chunk to the right neighbour.
+
+    Both hops issue *nonblocking* operations; the session's implicit
+    end-of-step ``gsync`` completes them, so a batching backend holds them
+    queued (and coalesces the puts) until the hop boundary.
+    """
     vec = ctx.win("vec")
     nranks = ctx.nranks
     right = (ctx.rank + 1) % nranks
     if step < nranks - 1:
         # Reduce-scatter hop: combine my partial chunk into the neighbour's.
         c = (ctx.rank - step) % nranks
-        vec.accumulate(right, c * CHUNK, vec.local[c * CHUNK : (c + 1) * CHUNK])
+        vec.accumulate_nb(right, c * CHUNK, vec.local[c * CHUNK : (c + 1) * CHUNK])
     else:
         # Allgather hop: forward the already-reduced chunk.
         t = step - (nranks - 1)
         c = (ctx.rank + 1 - t) % nranks
-        vec[right, c * CHUNK : (c + 1) * CHUNK] = vec.local[c * CHUNK : (c + 1) * CHUNK]
+        vec.put_nb(right, c * CHUNK, vec.local[c * CHUNK : (c + 1) * CHUNK])
     ctx.compute(2.0 * CHUNK)
 
 
@@ -83,6 +88,7 @@ def run_allreduce(
     ckpt_interval: int = 4,
     procs_per_node: int = 2,
     failure_schedule: FailureSchedule | None = None,
+    backend: str = "sim",
 ) -> AllreduceResult:
     """Run the full allreduce; the session recovers injected failures."""
     policy = repro.FaultTolerancePolicy(interval=ckpt_interval)
@@ -91,6 +97,7 @@ def run_allreduce(
         topology=repro.Topology(procs_per_node=procs_per_node),
         ft=policy,
         failures=failure_schedule,
+        backend=backend,
     ) as job:
         job.allocate("vec", nprocs * CHUNK)
         for ctx in job.contexts:
@@ -130,6 +137,18 @@ def main() -> None:
     print(f"final vectors bit-identical: {identical}")
     if not identical:
         raise SystemExit(1)
+
+    # Cross-backend check: the batching vector backend must land every hop —
+    # and every recovery replay — exactly where the eager backend lands it.
+    for sched, reference, label in (
+        (None, baseline, "failure-free"),
+        (schedule, recovered, "with failures"),
+    ):
+        vector = run_allreduce(nprocs=nprocs, failure_schedule=sched, backend="vector")
+        identical = np.array_equal(reference.vectors, vector.vectors)
+        print(f"vector backend {label}: bit-identical to sim = {identical}")
+        if not identical:
+            raise SystemExit(1)
 
 
 if __name__ == "__main__":

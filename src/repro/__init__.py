@@ -5,7 +5,10 @@ The package is layered bottom-up:
 * :mod:`repro.simulator` — the virtual-time cluster (clocks, cost model,
   failure-domain hierarchy, placement, fail-stop injection);
 * :mod:`repro.rma` — the paper's formal RMA model (actions, epochs, counters,
-  orders) and the :class:`~repro.rma.runtime.RmaRuntime` execution layer;
+  orders, nonblocking operation handles) and the
+  :class:`~repro.rma.runtime.RmaRuntime` coordination layer;
+* :mod:`repro.backends` — pluggable execution backends owning window storage
+  (eager ``"sim"``, batching ``"vector"``);
 * :mod:`repro.ft` — the fault-tolerance protocols built on the runtime
   (topology-aware in-memory checkpointing and recovery);
 * :mod:`repro.api` — the rank-centric session API: :func:`launch` a job,
@@ -26,7 +29,9 @@ from repro.api import (
     WindowHandle,
     launch,
 )
+from repro.backends import Backend, SimBackend, VectorBackend, make_backend
 from repro.errors import ReproError
+from repro.rma.handles import OpHandle
 
 __all__ = [
     "Collective",
@@ -37,6 +42,11 @@ __all__ = [
     "Topology",
     "WindowHandle",
     "launch",
+    "OpHandle",
+    "Backend",
+    "SimBackend",
+    "VectorBackend",
+    "make_backend",
     "ReproError",
     "__version__",
 ]

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import SchedulerError, WindowError
 from repro.rma.actions import AccumulateOp, CommAction, SyncAction
+from repro.rma.handles import OpHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.rma.runtime import RmaRuntime
@@ -46,6 +47,12 @@ class WindowHandle:
     get); ``w[trg, off:off+k] = data`` writes them (a one-sided put).  Integer
     indices address single elements.  :attr:`local` is a mutable numpy view of
     the origin's own buffer — plain loads and stores, no runtime call.
+
+    The indexing forms are *blocking* (issue + immediate completion).  The
+    ``*_nb`` methods issue nonblocking operations returning
+    :class:`~repro.rma.handles.OpHandle`; their effects and buffers
+    materialize when a ``flush``/``unlock``/``gsync`` closes the epoch, and a
+    batching backend may coalesce them into vectorized writes in between.
     """
 
     __slots__ = ("_ctx", "name")
@@ -64,25 +71,62 @@ class WindowHandle:
         """Mutable view of the origin rank's own buffer."""
         return self._ctx._runtime.local_view(self._ctx.rank, self.name)
 
+    def _where(self) -> str:
+        """Locator suffix used by every handle-level error message."""
+        return f"window {self.name!r} (origin rank {self._ctx.rank})"
+
+    def _check_trg(self, trg: int) -> int:
+        """Validate a target rank before it ever reaches the runtime."""
+        trg = int(trg)
+        if not 0 <= trg < self._ctx.nranks:
+            raise WindowError(
+                f"target rank {trg} out of range 0..{self._ctx.nranks - 1} "
+                f"for {self._where()}"
+            )
+        return trg
+
     def _resolve(self, index: int | slice) -> tuple[int, int]:
         """Normalize an element index/slice into ``(offset, count)``."""
         size = self.size
         if isinstance(index, slice):
             if index.step not in (None, 1):
-                raise WindowError("window handles support only unit-stride slices")
+                raise WindowError(
+                    f"only unit-stride slices are supported on {self._where()}, "
+                    f"got {index!r}"
+                )
             offset, stop, _ = index.indices(size)
             count = stop - offset
             if count <= 0:
-                raise WindowError(f"empty window slice {index!r}")
+                raise WindowError(
+                    f"zero-length slice {index!r} on {self._where()}"
+                )
             return offset, count
         offset = int(index)
         if offset < 0:
             offset += size
+        if not 0 <= offset < size:
+            raise WindowError(
+                f"index {index} out of bounds for {self._where()} of size {size}"
+            )
         return offset, 1
+
+    def _check_offset(self, offset: int, count: int) -> int:
+        """Validate an explicit ``(offset, count)`` pair of the *_nb methods."""
+        offset = int(offset)
+        if offset < 0:
+            raise WindowError(
+                f"negative offset {offset} into {self._where()}"
+            )
+        if count <= 0:
+            raise WindowError(
+                f"zero-length access (count={count}) on {self._where()}"
+            )
+        return offset
 
     def __getitem__(self, key: tuple[int, int | slice]) -> np.ndarray | float:
         """``w[trg, index]`` — one-sided get from rank ``trg``."""
         trg, index = key
+        trg = self._check_trg(trg)
         offset, count = self._resolve(index)
         data = self._ctx.get(trg, self.name, offset, count)
         return float(data[0]) if isinstance(index, int) else data
@@ -90,6 +134,7 @@ class WindowHandle:
     def __setitem__(self, key: tuple[int, int | slice], value) -> None:
         """``w[trg, index] = value`` — one-sided put into rank ``trg``."""
         trg, index = key
+        trg = self._check_trg(trg)
         offset, count = self._resolve(index)
         payload = np.broadcast_to(np.asarray(value), (count,))
         self._ctx.put(trg, self.name, offset, payload)
@@ -102,7 +147,35 @@ class WindowHandle:
         op: AccumulateOp = AccumulateOp.SUM,
     ) -> CommAction:
         """Combining put into rank ``trg`` at ``offset`` (MPI_Accumulate)."""
-        return self._ctx.accumulate(trg, self.name, offset, data, op)
+        return self._ctx.accumulate(self._check_trg(trg), self.name, offset, data, op)
+
+    # --- nonblocking variants -------------------------------------------
+    def put_nb(self, trg: int, offset: int, data: np.ndarray) -> OpHandle:
+        """Nonblocking put into rank ``trg``; completes at flush/unlock/gsync."""
+        trg = self._check_trg(trg)
+        data = np.asarray(data).ravel()
+        offset = self._check_offset(offset, data.size)
+        return self._ctx.put_nb(trg, self.name, offset, data)
+
+    def get_nb(self, trg: int, offset: int, count: int) -> OpHandle:
+        """Nonblocking get from rank ``trg``; the handle's buffer materializes
+        at the next flush/unlock/gsync towards ``trg``."""
+        trg = self._check_trg(trg)
+        offset = self._check_offset(offset, count)
+        return self._ctx.get_nb(trg, self.name, offset, count)
+
+    def accumulate_nb(
+        self,
+        trg: int,
+        offset: int,
+        data: np.ndarray,
+        op: AccumulateOp = AccumulateOp.SUM,
+    ) -> OpHandle:
+        """Nonblocking combining put into rank ``trg``."""
+        trg = self._check_trg(trg)
+        data = np.asarray(data).ravel()
+        offset = self._check_offset(offset, data.size)
+        return self._ctx.accumulate_nb(trg, self.name, offset, data, op)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WindowHandle({self.name!r}, rank={self._ctx.rank})"
@@ -152,6 +225,30 @@ class RankContext:
     ) -> CommAction:
         """Combining put into rank ``trg`` (MPI_Accumulate)."""
         return self._runtime.accumulate(self.rank, trg, window, offset, data, op)
+
+    # --- nonblocking variants (complete at flush/unlock/gsync) ----------
+    def put_nb(self, trg: int, window: str, offset: int, data: np.ndarray) -> OpHandle:
+        """Issue a nonblocking one-sided write into rank ``trg``."""
+        return self._runtime.put_nb(self.rank, trg, window, offset, data)
+
+    def get_nb(self, trg: int, window: str, offset: int, count: int) -> OpHandle:
+        """Issue a nonblocking one-sided read from rank ``trg``.
+
+        The returned handle's :meth:`~repro.rma.handles.OpHandle.result`
+        raises until a ``flush``/``unlock``/``gsync`` completes the epoch.
+        """
+        return self._runtime.get_nb(self.rank, trg, window, offset, count)
+
+    def accumulate_nb(
+        self,
+        trg: int,
+        window: str,
+        offset: int,
+        data: np.ndarray,
+        op: AccumulateOp = AccumulateOp.SUM,
+    ) -> OpHandle:
+        """Issue a nonblocking combining put into rank ``trg``."""
+        return self._runtime.accumulate_nb(self.rank, trg, window, offset, data, op)
 
     def get_accumulate(
         self,

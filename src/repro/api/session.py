@@ -30,6 +30,7 @@ import numpy as np
 from repro.api.context import RankContext
 from repro.api.policy import FaultTolerancePolicy, Topology
 from repro.api.scheduler import CooperativeScheduler, Kernel
+from repro.backends import Backend
 from repro.errors import ApiError, ProcessFailedError, RecoveryError
 from repro.ft.stack import FtStack
 from repro.rma.runtime import RmaRuntime
@@ -89,11 +90,12 @@ class Job:
         failures: FailureSchedule | None = None,
         record: bool = False,
         sync_each_step: bool = True,
+        backend: str | Backend | None = None,
     ) -> None:
         self.topology = topology or Topology()
         self.policy = ft
         self.cluster = self.topology.build(nprocs, failure_schedule=failures)
-        self.runtime = RmaRuntime(self.cluster, record=record)
+        self.runtime = RmaRuntime(self.cluster, record=record, backend=backend)
         self.contexts: list[RankContext] = [
             RankContext(self.runtime, rank) for rank in range(nprocs)
         ]
@@ -268,6 +270,7 @@ def launch(
     failures: FailureSchedule | None = None,
     record: bool = False,
     sync_each_step: bool = True,
+    backend: str | Backend | None = None,
 ) -> Job:
     """Launch an SPMD session of ``nprocs`` ranks on a simulated cluster.
 
@@ -290,6 +293,16 @@ def launch(
         Close every job step with an implicit ``gsync`` — the BSP-style
         superstep boundary where failures are usually observed.  Disable for
         kernels that synchronize explicitly.
+    backend:
+        RMA execution backend: ``"sim"`` (default, eager per-op execution),
+        ``"vector"`` (queued nonblocking ops applied as coalesced numpy
+        batches at completion), or a fresh
+        :class:`~repro.backends.base.Backend` instance (one per job — a
+        backend owns its job's window storage).  Traces, clocks and results
+        are bit-identical across backends for every program that observes
+        operation results only after the epoch completing them — i.e. any
+        program without intra-epoch data races, which the model leaves
+        unordered anyway (§2.2).
     """
     return Job(
         nprocs,
@@ -298,4 +311,5 @@ def launch(
         failures=failures,
         record=record,
         sync_each_step=sync_each_step,
+        backend=backend,
     )

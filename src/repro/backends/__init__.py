@@ -1,0 +1,52 @@
+"""Pluggable RMA backends: window storage + operation execution strategies.
+
+A backend decides *where window memory lives* and *when issued operations
+execute*; the runtime above it only coordinates epochs, counters, interceptors
+and virtual-time costs.  Two backends ship:
+
+* :class:`SimBackend` (``"sim"``, the default) — eager per-op execution at
+  issue time, the historical runtime behavior;
+* :class:`VectorBackend` (``"vector"``) — queues nonblocking operations per
+  epoch and applies them as coalesced numpy batch writes at completion time.
+
+Select one with ``repro.launch(..., backend="vector")`` or
+``RmaRuntime(cluster, backend=...)``; both accept a name or a ready
+:class:`Backend` instance, resolved by :func:`make_backend`.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, apply_action
+from repro.backends.sim import SimBackend
+from repro.backends.vector import VectorBackend
+from repro.errors import BackendError
+
+__all__ = ["Backend", "SimBackend", "VectorBackend", "BACKENDS", "make_backend", "apply_action"]
+
+#: Registry of constructable backends, by name.
+BACKENDS: dict[str, type[Backend]] = {
+    SimBackend.name: SimBackend,
+    VectorBackend.name: VectorBackend,
+}
+
+
+def make_backend(spec: str | Backend | None) -> Backend:
+    """Resolve a backend specification into a fresh (or given) instance.
+
+    ``None`` means the default (``"sim"``); a string is looked up in
+    :data:`BACKENDS`; a :class:`Backend` instance is passed through so tests
+    and instrumented runs can inject custom implementations.
+    """
+    if spec is None:
+        return SimBackend()
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec]()
+        except KeyError:
+            known = ", ".join(sorted(BACKENDS))
+            raise BackendError(
+                f"unknown backend {spec!r}; available backends: {known}"
+            ) from None
+    raise BackendError(f"backend must be a name or a Backend instance, got {spec!r}")

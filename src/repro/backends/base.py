@@ -1,0 +1,139 @@
+"""The RMA backend protocol: who owns window storage and executes operations.
+
+The runtime (:class:`~repro.rma.runtime.RmaRuntime`) is a *coordinator*: it
+stamps actions with the recovery counters, runs the interceptor chain, tracks
+epochs and charges virtual-time costs — but it never touches window memory
+itself.  All storage and data movement belong to a :class:`Backend`:
+
+* :meth:`Backend.issue` receives every communication action (wrapped in an
+  :class:`~repro.rma.handles.OpHandle`) the moment it is issued;
+* :meth:`Backend.complete` / :meth:`Backend.complete_rank` are called by the
+  runtime's completion points (flush, unlock, flush_all, gsync, and the
+  blocking wrappers) and must return the completed handles in issue order —
+  with every effect applied to the window buffers by the time they return.
+
+A backend may execute ops eagerly at issue (:class:`~repro.backends.sim.SimBackend`,
+the historical behavior) or queue them per ``(src, trg)`` epoch and apply them
+in batches at completion (:class:`~repro.backends.vector.VectorBackend`); the
+model permits both because actions within one epoch are unordered (§2.2).
+Whatever the strategy, the *completion stream* — the issue-ordered sequence of
+handles returned from the completion hooks — must be identical across
+backends, which is what keeps fault-tolerance interceptors (who observe that
+stream) and recorded traces bit-identical.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import BackendError, RmaError
+from repro.rma.actions import CommAction, OpKind, apply_accumulate
+from repro.rma.handles import OpHandle
+from repro.rma.window import Window, WindowRegistry
+
+__all__ = ["Backend", "apply_action"]
+
+
+def apply_action(action: CommAction, win: Window) -> None:
+    """Execute one communication action against ``win``, in place.
+
+    Get-like actions deposit the fetched values into ``action.data`` (the
+    handle exposes them after completion); put-like actions mutate the
+    target's buffer.  Shared by all backends so the per-op semantics cannot
+    drift between them.
+    """
+    if action.kind is OpKind.PUT:
+        win.write(action.trg, action.offset, action.data)
+    elif action.kind is OpKind.GET:
+        action.data = win.read(action.trg, action.offset, action.count)
+    elif action.kind is OpKind.COMPARE_AND_SWAP:
+        view = win.view(action.trg, action.offset, action.count)
+        previous = view.copy()
+        if np.array_equal(previous, action.compare):
+            view[...] = action.data
+        action.data = previous
+    elif action.kind.is_atomic:
+        view = win.view(action.trg, action.offset, action.count)
+        previous = apply_accumulate(view, action.data, action.op)
+        if action.kind.is_get_like:
+            action.data = previous
+    else:  # pragma: no cover - defensive
+        raise RmaError(f"unknown operation kind {action.kind!r}")
+
+
+class Backend(abc.ABC):
+    """Owner of window storage and operation execution for one runtime."""
+
+    #: Registry name of the backend ("sim", "vector", ...).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.windows = WindowRegistry()
+        self.nprocs = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle and window storage
+    # ------------------------------------------------------------------
+    def bind(self, nprocs: int) -> None:
+        """Attach the backend to a job of ``nprocs`` ranks.
+
+        A backend instance belongs to exactly one runtime: it owns that job's
+        window storage and pending queues, so rebinding would leak one job's
+        state into another.  Construct a fresh instance per job instead.
+        """
+        if self.nprocs:
+            raise BackendError(
+                f"backend {self.name!r} is already bound to a {self.nprocs}-rank "
+                f"job; backends hold job state (windows, queues) and cannot be "
+                f"reused — construct a fresh instance per job"
+            )
+        self.nprocs = nprocs
+
+    def create_window(self, name: str, size: int, dtype: np.dtype) -> Window:
+        """Allocate one window (a buffer per rank) in backend-owned storage."""
+        return self.windows.create(name, size, dtype, self.nprocs)
+
+    def invalidate_rank(self, rank: int) -> None:
+        """A rank failed: its buffers are lost in every window."""
+        self.windows.invalidate_rank(rank)
+
+    def reallocate_rank(self, rank: int) -> None:
+        """A replacement process arrived: give it fresh buffers everywhere."""
+        self.windows.reallocate_rank(rank)
+
+    # ------------------------------------------------------------------
+    # Operation execution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def issue(self, handle: OpHandle, win: Window) -> None:
+        """Accept one issued operation (apply eagerly or queue it)."""
+
+    @abc.abstractmethod
+    def complete(self, src: int, trg: int) -> list[OpHandle]:
+        """Complete all outstanding ``src -> trg`` operations, in issue order."""
+
+    @abc.abstractmethod
+    def complete_rank(self, src: int) -> list[OpHandle]:
+        """Complete all outstanding operations of ``src``, in issue order."""
+
+    @abc.abstractmethod
+    def pending_ops(self, src: int | None = None) -> int:
+        """Outstanding (issued, not completed) operations of ``src`` (or all)."""
+
+    @abc.abstractmethod
+    def discard_pending(self) -> list[OpHandle]:
+        """Drop every outstanding operation without applying it (rollback).
+
+        Returns the discarded handles so the runtime can poison them; a
+        backend that already applied the ops eagerly still discards the
+        *handles* — the rolled-back window contents are restored from the
+        checkpoint by the recovery path.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(nprocs={self.nprocs}, "
+            f"windows={len(self.windows)}, pending={self.pending_ops()})"
+        )

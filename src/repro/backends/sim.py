@@ -1,0 +1,70 @@
+"""The eager simulator backend — applies write effects at issue time.
+
+This is the historical execution strategy of the runtime, factored out behind
+the :class:`~repro.backends.base.Backend` protocol: every put-like action is
+executed against the window buffers the moment it is issued, so writes are
+visible to direct buffer reads immediately.  Pure *gets* read at completion
+time instead — the same moment every other backend reads — so a ``get_nb``
+buffer observes the target exactly as it stands when the epoch closes, on
+every backend alike.  Completion (handle state, interceptor ``after_comm``)
+is likewise deferred to the runtime's completion points, which is what makes
+the completion stream identical to batching backends.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, apply_action
+from repro.rma.actions import OpKind
+from repro.rma.handles import OpHandle
+from repro.rma.window import Window
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """Eager execution: writes happen at issue, one op at a time."""
+
+    name = "sim"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Issued-but-not-completed (handle, window) pairs per origin; write
+        #: effects are already applied, pure gets read at completion.
+        self._pending: dict[int, list[tuple[OpHandle, Window]]] = {}
+
+    # ------------------------------------------------------------------
+    def issue(self, handle: OpHandle, win: Window) -> None:
+        if handle.action.kind is not OpKind.GET:
+            apply_action(handle.action, win)
+        self._pending.setdefault(handle.action.src, []).append((handle, win))
+
+    def complete(self, src: int, trg: int) -> list[OpHandle]:
+        queue = self._pending.get(src)
+        if not queue:
+            return []
+        done = [(h, w) for h, w in queue if h.action.trg == trg]
+        if done:
+            self._pending[src] = [(h, w) for h, w in queue if h.action.trg != trg]
+        return self._finish(done)
+
+    def complete_rank(self, src: int) -> list[OpHandle]:
+        return self._finish(self._pending.pop(src, []))
+
+    def pending_ops(self, src: int | None = None) -> int:
+        if src is not None:
+            return len(self._pending.get(src, []))
+        return sum(len(queue) for queue in self._pending.values())
+
+    def discard_pending(self) -> list[OpHandle]:
+        discarded = [h for queue in self._pending.values() for h, _ in queue]
+        self._pending.clear()
+        return discarded
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish(batch: list[tuple[OpHandle, Window]]) -> list[OpHandle]:
+        """Perform the deferred reads of pure gets; return handles in issue order."""
+        for handle, win in batch:
+            if handle.action.kind is OpKind.GET:
+                apply_action(handle.action, win)
+        return [h for h, _ in batch]

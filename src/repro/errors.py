@@ -72,6 +72,19 @@ class SynchronizationError(RmaError):
     """Illegal mix of synchronization primitives (e.g. gsync inside a lock)."""
 
 
+class OpHandleError(RmaError):
+    """Misuse of a nonblocking operation handle.
+
+    Raised when the buffer of an un-completed handle is read (the operation
+    has not been flushed/unlocked/gsync'ed yet) or when a handle was discarded
+    by a recovery rollback and its result no longer describes committed state.
+    """
+
+
+class BackendError(RmaError):
+    """An RMA backend was misconfigured or misused (e.g. unknown backend name)."""
+
+
 # ---------------------------------------------------------------------------
 # Fault-tolerance protocol errors
 # ---------------------------------------------------------------------------

@@ -47,10 +47,16 @@ __all__ = [
 class ActionLog(RmaInterceptor):
     """The put/get log of §6.2, kept at the origin of every action.
 
-    Each completed communication action appends its determinant and payload
-    size to the origin's log; the bookkeeping plus the local copy of put data
-    is charged on the origin's clock as protocol overhead (the paper's logging
-    cost).  The per-rank logged volume drives demand checkpoints.
+    The log observes the runtime's *completion stream*: ``after_comm`` fires
+    when an operation completes (at the flush/unlock/gsync that closes its
+    epoch, immediately for blocking calls), not when it is issued — so under
+    a batching backend that reorders or coalesces execution, the log still
+    records exactly the operations whose effects are part of the consistent
+    state, and demand-checkpoint decisions stay correct.  Each completed
+    communication action appends its determinant and payload size to the
+    origin's log; the bookkeeping plus the local copy of put data is charged
+    on the origin's clock as protocol overhead (the paper's logging cost).
+    The per-rank logged volume drives demand checkpoints.
     """
 
     name = "action-log"
@@ -258,6 +264,13 @@ class CoordinatedCheckpointer(RmaInterceptor):
                     f"checkpoint must start at an epoch boundary, but rank "
                     f"{rank} holds a lock (LC={runtime.counters.lc(rank)})"
                 )
+        pending = runtime.pending_nb_ops()
+        if pending:
+            raise EpochError(
+                f"checkpoint must start at an epoch boundary, but {pending} "
+                f"nonblocking operations are issued and unflushed; complete "
+                f"them (flush/unlock/gsync) before checkpointing"
+            )
         # Coordination: agree to checkpoint (a barrier), then copy.
         cluster.barrier()
         version = CheckpointVersion(

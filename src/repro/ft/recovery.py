@@ -72,9 +72,17 @@ class RecoveryManager:
                 f"ranks {failed} failed and no stored checkpoint retains a "
                 f"copy for every rank; the job must restart"
             )
+        # Operations issued after the checkpoint but never completed are part
+        # of the execution being undone: drop them from the backend's queues
+        # (and poison their handles) before restoring, or a later flush would
+        # replay them on top of the rolled-back windows.
+        self.runtime.discard_pending()
         for rank in failed:
             cluster.respawn_rank(rank)
-            self.runtime.windows.reallocate_rank(rank)
+            # Through the backend hook (not the registry directly): storage
+            # ownership lives with the backend, and a custom one may rebuild
+            # per-rank state of its own on respawn.
+            self.runtime.backend.reallocate_rank(rank)
             self.runtime.notify_respawn(rank)
         self._restore_all(version)
         # The rolled-back actions' log entries describe execution that is

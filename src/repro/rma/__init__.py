@@ -4,6 +4,7 @@
 * :mod:`~repro.rma.epoch` — epoch tracking ``E(p -> q)`` (§2.2),
 * :mod:`~repro.rma.counters` — the recovery counters EC/GC/SC/GNC/LC (§4.1),
 * :mod:`~repro.rma.ordering` — the orders ``po``, ``so``, ``hb``, ``co`` (§2.3),
+* :mod:`~repro.rma.handles` — nonblocking operation handles (issue vs completion),
 * :mod:`~repro.rma.table1` — operation categorization across languages (Table 1),
 * :mod:`~repro.rma.interceptor` — PMPI-style interposition hooks (§6.1),
 * :mod:`~repro.rma.window` — shared memory windows,
@@ -21,6 +22,7 @@ from repro.rma.actions import (
 )
 from repro.rma.counters import CounterBoard
 from repro.rma.epoch import EpochTracker
+from repro.rma.handles import OpHandle
 from repro.rma.interceptor import InterceptorChain, RmaInterceptor
 from repro.rma.ordering import OrderRecorder
 from repro.rma.runtime import RmaRuntime
@@ -36,6 +38,7 @@ __all__ = [
     "SyncKind",
     "CounterBoard",
     "EpochTracker",
+    "OpHandle",
     "InterceptorChain",
     "RmaInterceptor",
     "OrderRecorder",

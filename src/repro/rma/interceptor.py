@@ -42,7 +42,13 @@ class RmaInterceptor:
         """Invoked right before a put/get/atomic is issued."""
 
     def after_comm(self, action: CommAction) -> None:
-        """Invoked right after a put/get/atomic was issued (data staged)."""
+        """Invoked when a put/get/atomic *completes* (its effect is applied).
+
+        For blocking calls this is immediately after issue; for nonblocking
+        calls it is the flush/unlock/gsync that closes the epoch.  Handles
+        arrive in issue order regardless of how the backend batched the
+        execution, so interceptors observe one canonical completion stream.
+        """
 
     # --- synchronization actions --------------------------------------------
     def before_sync(self, action: SyncAction) -> None:

@@ -1,17 +1,27 @@
-"""The SPMD RMA runtime — the execution layer of the reproduction (§6).
+"""The SPMD RMA runtime — the coordination layer of the reproduction (§6).
 
 :class:`RmaRuntime` binds the formal model (:mod:`repro.rma`) to the virtual
-cluster (:mod:`repro.simulator`):
+cluster (:mod:`repro.simulator`) and to a pluggable execution
+:class:`~repro.backends.base.Backend` that owns window storage:
 
 * every ``put``/``get``/atomic is materialized as a
   :class:`~repro.rma.actions.CommAction` stamped with the recovery counters
-  (EC, GC, SC, GNC), dispatched through the registered
-  :class:`~repro.rma.interceptor.RmaInterceptor` chain, applied to the target
-  :class:`~repro.rma.window.Window` buffer and charged on the origin's virtual
-  clock via the cluster's :class:`~repro.simulator.costs.CostModel`;
+  (EC, GC, SC, GNC), announced to the registered
+  :class:`~repro.rma.interceptor.RmaInterceptor` chain and handed to the
+  backend as an :class:`~repro.rma.handles.OpHandle`.  Nonblocking variants
+  (``put_nb``/``get_nb``/``accumulate_nb``) stop there — their effects and
+  buffers materialize when a completion point (``flush``/``unlock``/
+  ``gsync``) closes the epoch; the blocking calls are the same issue path
+  followed by an immediate completion of the ``src -> trg`` queue;
 * every ``lock``/``unlock``/``flush``/``gsync`` maintains the epoch and
-  counter state exactly as §2.2 and §4.1 prescribe (unlock and flush close the
-  ``src -> trg`` epoch, a gsync closes all epochs everywhere and bumps GNC);
+  counter state exactly as §2.2 and §4.1 prescribe (unlock and flush complete
+  outstanding operations and close the ``src -> trg`` epoch, a gsync
+  completes and closes everything everywhere and bumps GNC);
+* interceptors observe the *completion stream*: ``before_comm`` fires at
+  issue, ``after_comm`` when the operation completes — so fault-tolerance
+  logging sees exactly the operations whose effects are part of the
+  consistent state, independent of how the backend batches or reorders
+  execution internally;
 * fail-stop failures surface as
   :class:`~repro.errors.ProcessFailedError` the moment an action touches a
   dead process or a collective observes one — the fault-tolerance layer
@@ -19,14 +29,20 @@ cluster (:mod:`repro.simulator`):
 
 The driver is SPMD-by-iteration: a single thread issues actions on behalf of
 each rank (``src`` is an explicit argument), which keeps the simulation
-deterministic while preserving per-rank timing.
+deterministic while preserving per-rank timing.  Determinism is
+backend-independent: costs, counters, recording and failure observation all
+happen here, so two backends given the same program produce bit-identical
+traces and clocks.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from repro.errors import ProcessFailedError, RmaError, SynchronizationError
+from repro.errors import ProcessFailedError, SynchronizationError
 from repro.rma.actions import (
     AccumulateOp,
     CommAction,
@@ -34,25 +50,58 @@ from repro.rma.actions import (
     OpKind,
     SyncAction,
     SyncKind,
-    apply_accumulate,
 )
 from repro.rma.counters import CounterBoard
 from repro.rma.epoch import EpochTracker
+from repro.rma.handles import OpHandle
 from repro.rma.interceptor import InterceptorChain, RmaInterceptor
 from repro.rma.ordering import OrderRecorder
 from repro.rma.window import Window, WindowRegistry
 from repro.simulator.cluster import Cluster
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.backends.base import Backend
+
 __all__ = ["RmaRuntime"]
 
 
-class RmaRuntime:
-    """Executes RMA programs of an SPMD job on a simulated cluster."""
+class _Accrual:
+    """Virtual cost and metrics of issued-but-uncompleted ops of one (src, trg).
 
-    def __init__(self, cluster: Cluster, *, record: bool = False) -> None:
+    Nonblocking issues are cheap on purpose: instead of advancing the origin
+    clock and bumping metrics once per operation, the runtime accrues both
+    here and charges them in one stroke when the pair's queue completes —
+    the accounting analogue of the backend's batched execution.  Totals are
+    identical to per-op charging; only the number of bookkeeping calls drops.
+    """
+
+    __slots__ = ("cost", "nbytes", "kinds")
+
+    def __init__(self) -> None:
+        self.cost = 0.0
+        self.nbytes = 0
+        self.kinds: dict[str, int] = defaultdict(int)
+
+
+class RmaRuntime:
+    """Coordinates RMA programs of an SPMD job over a backend and a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        record: bool = False,
+        backend: "str | Backend | None" = None,
+    ) -> None:
+        # Deferred import: repro.backends needs the rma model modules, which
+        # this module's package pulls in — importing it lazily keeps every
+        # entry-point import order (repro, repro.rma, repro.backends) valid.
+        from repro.backends import make_backend
+
         self.cluster = cluster
         self.nprocs = cluster.nprocs
-        self.windows = WindowRegistry()
+        self.backend = make_backend(backend)
+        self.backend.bind(cluster.nprocs)
         self.epochs = EpochTracker(cluster.nprocs)
         self.counters = CounterBoard(cluster.nprocs)
         self.interceptors = InterceptorChain()
@@ -60,6 +109,13 @@ class RmaRuntime:
         self._finalized = False
         #: Failures already propagated to windows and interceptors.
         self._known_failed: set[int] = set()
+        #: Uncharged cost/metrics of outstanding nonblocking ops per (src, trg).
+        self._accrued: dict[tuple[int, int], _Accrual] = {}
+
+    @property
+    def windows(self) -> WindowRegistry:
+        """The backend-owned window registry (storage lives with the backend)."""
+        return self.backend.windows
 
     # ------------------------------------------------------------------
     # Interceptors (the PMPI-interposition analogue, §6.1)
@@ -81,7 +137,7 @@ class RmaRuntime:
         Charged as a barrier plus the local allocation cost at each rank.
         """
         self._ensure_all_alive("win_allocate")
-        window = self.windows.create(name, size, np.dtype(dtype), self.nprocs)
+        window = self.backend.create_window(name, size, np.dtype(dtype))
         alloc_cost = self.cluster.costs.local_copy(window.nbytes_per_rank)
         for rank in self.cluster.alive_ranks():
             self.cluster.advance(rank, alloc_cost, kind="comm")
@@ -116,7 +172,58 @@ class RmaRuntime:
         return win.view(rank, offset, count)
 
     # ------------------------------------------------------------------
-    # Communication actions
+    # Nonblocking communication actions
+    # ------------------------------------------------------------------
+    def put_nb(
+        self, src: int, trg: int, window: str, offset: int, data: np.ndarray
+    ) -> OpHandle:
+        """Issue a nonblocking write into ``trg``'s window (MPI_Put).
+
+        The write becomes visible when the next ``flush``/``unlock``/``gsync``
+        completes the ``src -> trg`` epoch.
+        """
+        win = self.windows.get(window)
+        payload = self._coerce_payload(data, win)
+        action = self._make_comm(
+            OpKind.PUT, src, trg, win, offset, payload.size, combine=False,
+            data=payload,
+        )
+        return self._issue_nb(action, win)
+
+    def get_nb(
+        self, src: int, trg: int, window: str, offset: int, count: int
+    ) -> OpHandle:
+        """Issue a nonblocking read of ``trg``'s window (MPI_Get).
+
+        The handle's buffer (:meth:`~repro.rma.handles.OpHandle.result`)
+        materializes at the next completion point; reading it earlier raises.
+        """
+        win = self.windows.get(window)
+        action = self._make_comm(
+            OpKind.GET, src, trg, win, offset, count, combine=False,
+        )
+        return self._issue_nb(action, win)
+
+    def accumulate_nb(
+        self,
+        src: int,
+        trg: int,
+        window: str,
+        offset: int,
+        data: np.ndarray,
+        op: AccumulateOp = AccumulateOp.SUM,
+    ) -> OpHandle:
+        """Issue a nonblocking combining put into ``trg`` (MPI_Accumulate)."""
+        win = self.windows.get(window)
+        payload = self._coerce_payload(data, win)
+        action = self._make_comm(
+            OpKind.ACCUMULATE, src, trg, win, offset, payload.size,
+            combine=op.combining, data=payload, op=op,
+        )
+        return self._issue_nb(action, win)
+
+    # ------------------------------------------------------------------
+    # Blocking communication actions (issue + immediate completion)
     # ------------------------------------------------------------------
     def put(
         self,
@@ -127,25 +234,19 @@ class RmaRuntime:
         data: np.ndarray,
     ) -> CommAction:
         """Write ``data`` into ``trg``'s window at ``offset`` (MPI_Put)."""
-        win = self.windows.get(window)
-        payload = self._coerce_payload(data, win)
-        action = self._make_comm(
-            OpKind.PUT, src, trg, window, offset, payload.size, combine=False,
-            data=payload,
-        )
-        return self._issue_comm(action, win)
+        handle = self.put_nb(src, trg, window, offset, data)
+        self._complete_pair(handle.action.src, handle.action.trg)
+        return handle.action
 
     def get(
         self, src: int, trg: int, window: str, offset: int, count: int
     ) -> np.ndarray:
         """Read ``count`` elements from ``trg``'s window at ``offset`` (MPI_Get)."""
-        win = self.windows.get(window)
-        action = self._make_comm(
-            OpKind.GET, src, trg, window, offset, count, combine=False,
-        )
-        completed = self._issue_comm(action, win)
-        assert completed.data is not None
-        return completed.data
+        handle = self.get_nb(src, trg, window, offset, count)
+        self._complete_pair(src, trg)
+        data = handle.result()
+        assert data is not None
+        return data
 
     def accumulate(
         self,
@@ -157,13 +258,9 @@ class RmaRuntime:
         op: AccumulateOp = AccumulateOp.SUM,
     ) -> CommAction:
         """Combine ``data`` into ``trg``'s window (MPI_Accumulate)."""
-        win = self.windows.get(window)
-        payload = self._coerce_payload(data, win)
-        action = self._make_comm(
-            OpKind.ACCUMULATE, src, trg, window, offset, payload.size,
-            combine=op.combining, data=payload, op=op,
-        )
-        return self._issue_comm(action, win)
+        handle = self.accumulate_nb(src, trg, window, offset, data, op)
+        self._complete_pair(src, trg)
+        return handle.action
 
     def get_accumulate(
         self,
@@ -178,12 +275,14 @@ class RmaRuntime:
         win = self.windows.get(window)
         payload = self._coerce_payload(data, win)
         action = self._make_comm(
-            OpKind.GET_ACCUMULATE, src, trg, window, offset, payload.size,
+            OpKind.GET_ACCUMULATE, src, trg, win, offset, payload.size,
             combine=op.combining, data=payload, op=op,
         )
-        completed = self._issue_comm(action, win)
-        assert completed.data is not None
-        return completed.data
+        handle = self._issue_nb(action, win)
+        self._complete_pair(src, trg)
+        data = handle.result()
+        assert data is not None
+        return data
 
     def fetch_and_op(
         self,
@@ -198,12 +297,14 @@ class RmaRuntime:
         win = self.windows.get(window)
         payload = np.asarray([value], dtype=win.dtype)
         action = self._make_comm(
-            OpKind.FETCH_AND_OP, src, trg, window, offset, 1,
+            OpKind.FETCH_AND_OP, src, trg, win, offset, 1,
             combine=op.combining, data=payload, op=op,
         )
-        completed = self._issue_comm(action, win)
-        assert completed.data is not None
-        return completed.data[0]
+        handle = self._issue_nb(action, win)
+        self._complete_pair(src, trg)
+        data = handle.result()
+        assert data is not None
+        return data[0]
 
     def compare_and_swap(
         self,
@@ -219,12 +320,14 @@ class RmaRuntime:
         payload = np.asarray([value], dtype=win.dtype)
         cmp = np.asarray([compare], dtype=win.dtype)
         action = self._make_comm(
-            OpKind.COMPARE_AND_SWAP, src, trg, window, offset, 1,
+            OpKind.COMPARE_AND_SWAP, src, trg, win, offset, 1,
             combine=True, data=payload, compare=cmp,
         )
-        completed = self._issue_comm(action, win)
-        assert completed.data is not None
-        return completed.data[0]
+        handle = self._issue_nb(action, win)
+        self._complete_pair(src, trg)
+        data = handle.result()
+        assert data is not None
+        return data[0]
 
     # ------------------------------------------------------------------
     # Synchronization actions
@@ -243,6 +346,7 @@ class RmaRuntime:
         """Release a lock on ``trg``; completes and closes the epoch (§2.2)."""
         self._pre_action(src, trg)
         self.counters.on_unlock(src, trg, structure)
+        self._complete_pair(src, trg)
         action = SyncAction(
             kind=SyncKind.UNLOCK, src=src, trg=trg,
             counters=self._stamp(src, trg), structure=structure,
@@ -254,9 +358,11 @@ class RmaRuntime:
     def flush(self, src: int, trg: int) -> SyncAction:
         """Complete all outstanding ``src -> trg`` operations (MPI_Win_flush).
 
-        Closes the epoch and increments ``GC_src`` (§4.1 B).
+        Completes the pair's queued operations at the backend, closes the
+        epoch and increments ``GC_src`` (§4.1 B).
         """
         self._pre_action(src, trg)
+        self._complete_pair(src, trg)
         pending = self.epochs.pending(src, trg)
         self.counters.on_flush(src)
         action = SyncAction(
@@ -271,6 +377,14 @@ class RmaRuntime:
         """Complete all outstanding operations of ``src`` (MPI_Win_flush_all)."""
         self.observe_failures()
         self.cluster.ensure_alive(src)
+        # Completing towards a dead target must fail *before* any effect is
+        # applied, on every backend alike — an eager backend already wrote the
+        # bytes, a batching one has not, so the liveness check (not the apply)
+        # has to be the common failure point.
+        for pair_src, trg in list(self._accrued):
+            if pair_src == src:
+                self.cluster.ensure_alive(trg)
+        self._complete_rank(src)
         pending = self.epochs.pending(src)
         gc = self.counters.on_flush(src)
         action = SyncAction(
@@ -292,6 +406,8 @@ class RmaRuntime:
         self._ensure_all_alive("gsync")
         if any(self.counters.holds_any_lock(r) for r in self.cluster.alive_ranks()):
             raise SynchronizationError("gsync while a lock is held")
+        for rank in range(self.nprocs):
+            self._complete_rank(rank)
         cost = self.cluster.costs.gsync(self.nprocs)
         self.cluster.barrier(cost=cost)  # raises on failed participants
         self.counters.on_gsync()
@@ -345,7 +461,7 @@ class RmaRuntime:
         newly = sorted(set(self.cluster.failed_ranks()) - self._known_failed)
         for rank in newly:
             self._known_failed.add(rank)
-            self.windows.invalidate_rank(rank)
+            self.backend.invalidate_rank(rank)
             self.interceptors.on_failure_detected(rank)
         return newly
 
@@ -360,6 +476,24 @@ class RmaRuntime:
         self.epochs.reset_rank(rank)
         self.counters.reset_rank(rank)
         self.interceptors.on_respawn(rank)
+
+    def pending_nb_ops(self, src: int | None = None) -> int:
+        """Issued-but-uncompleted nonblocking operations of ``src`` (or all)."""
+        return self.backend.pending_ops(src)
+
+    def discard_pending(self) -> int:
+        """Drop every outstanding nonblocking operation (recovery rollback).
+
+        The dropped operations were issued after the checkpoint being restored
+        and never completed, so no committed state reflects them; their
+        handles are poisoned so a later ``result()`` raises instead of
+        reporting rolled-back data.  Returns the number of discarded ops.
+        """
+        discarded = self.backend.discard_pending()
+        for handle in discarded:
+            handle._mark_discarded()
+        self._accrued.clear()
+        return len(discarded)
 
     # ------------------------------------------------------------------
     # Internals
@@ -387,10 +521,11 @@ class RmaRuntime:
     def _coerce_payload(data: np.ndarray, win: Window) -> np.ndarray:
         """Copy a user payload into a flat array of the window's dtype.
 
-        The copy decouples the action from the caller's buffer: actions
-        retained by interceptors or the recorder must keep the values the
-        operation actually transferred, even if the caller mutates its array
-        afterwards (the stencil passes live window slices, for example).
+        The copy decouples the action from the caller's buffer: a nonblocking
+        operation applied only at flush time, and actions retained by
+        interceptors or the recorder, must keep the values the operation was
+        issued with even if the caller mutates its array afterwards (the
+        stencil passes live window slices, for example).
         """
         return np.array(data, dtype=win.dtype, copy=True).ravel()
 
@@ -408,7 +543,7 @@ class RmaRuntime:
         kind: OpKind,
         src: int,
         trg: int,
-        window: str,
+        win: Window,
         offset: int,
         count: int,
         *,
@@ -417,42 +552,68 @@ class RmaRuntime:
         compare: np.ndarray | None = None,
         op: AccumulateOp = AccumulateOp.REPLACE,
     ) -> CommAction:
+        # Window-addressing errors first (they name the rank and window), then
+        # liveness: a malformed nonblocking op must fail at its call site,
+        # identically on every backend, not at the flush that would apply it.
+        win.check_access(trg, offset, count)
         self._pre_action(src, trg)
+        window = win.name
         return CommAction(
             kind=kind, src=src, trg=trg, window=window, offset=offset,
             count=count, combine=combine, counters=self._stamp(src, trg),
             op=op, data=data, compare=compare,
         )
 
-    def _issue_comm(self, action: CommAction, win: Window) -> CommAction:
-        """Apply ``action`` to the window and charge its network cost."""
+    def _issue_nb(self, action: CommAction, win: Window) -> OpHandle:
+        """Issue one communication action: interceptors, backend, accrual.
+
+        The action's network cost and metrics are *accrued*, not charged —
+        they hit the origin's clock when the pair's queue completes, mirroring
+        how the backend may defer execution itself.
+        """
         self.interceptors.before_comm(action)
-        if action.kind is OpKind.PUT:
-            win.write(action.trg, action.offset, action.data)
-        elif action.kind is OpKind.GET:
-            action = action.with_data(win.read(action.trg, action.offset, action.count))
-        elif action.kind is OpKind.COMPARE_AND_SWAP:
-            view = win.view(action.trg, action.offset, action.count)
-            previous = view.copy()
-            if np.array_equal(previous, action.compare):
-                view[...] = action.data
-            action = action.with_data(previous)
-        elif action.kind.is_atomic:
-            view = win.view(action.trg, action.offset, action.count)
-            previous = apply_accumulate(view, action.data, action.op)
-            if action.kind.is_get_like:
-                action = action.with_data(previous)
-        else:  # pragma: no cover - defensive
-            raise RmaError(f"unknown operation kind {action.kind!r}")
+        handle = OpHandle(action)
+        self.backend.issue(handle, win)
+        accrual = self._accrued.get((action.src, action.trg))
+        if accrual is None:
+            accrual = self._accrued[(action.src, action.trg)] = _Accrual()
         nbytes = action.count * win.itemsize
-        cost = self.cluster.costs.remote_transfer(nbytes, atomic=action.kind.is_atomic)
-        self.cluster.advance(action.src, cost, kind="comm")
+        accrual.cost += self.cluster.costs.remote_transfer(
+            nbytes, atomic=action.kind.is_atomic
+        )
+        accrual.nbytes += nbytes
+        accrual.kinds[action.kind.value] += 1
         self.epochs.record_access(action.src, action.trg)
         self.recorder.record(action)
-        self.interceptors.after_comm(action)
-        self.cluster.metrics.incr(f"rma.{action.kind.value}", rank=action.src)
-        self.cluster.metrics.incr("rma.bytes_moved", nbytes, rank=action.src)
-        return action
+        return handle
+
+    def _complete_pair(self, src: int, trg: int) -> None:
+        """Complete all outstanding ``src -> trg`` ops: apply, notify, charge."""
+        self._retire(self.backend.complete(src, trg))
+        self._charge_accrued(src, trg)
+
+    def _complete_rank(self, src: int) -> None:
+        """Complete all outstanding ops of ``src`` across every target."""
+        self._retire(self.backend.complete_rank(src))
+        for key in [k for k in self._accrued if k[0] == src]:
+            self._charge_accrued(*key)
+
+    def _retire(self, handles: list[OpHandle]) -> None:
+        """Mark completed handles and emit the completion stream to interceptors."""
+        for handle in handles:
+            handle._mark_completed()
+            self.interceptors.after_comm(handle.action)
+
+    def _charge_accrued(self, src: int, trg: int) -> None:
+        """Charge the accrued cost/metrics of a completed ``(src, trg)`` batch."""
+        accrual = self._accrued.pop((src, trg), None)
+        if accrual is None:
+            return
+        self.cluster.advance(src, accrual.cost, kind="comm")
+        metrics = self.cluster.metrics
+        for kind, count in accrual.kinds.items():
+            metrics.incr(f"rma.{kind}", count, rank=src)
+        metrics.incr("rma.bytes_moved", accrual.nbytes, rank=src)
 
     def _issue_sync(self, action: SyncAction, *, cost: float) -> SyncAction:
         self.interceptors.before_sync(action)
@@ -464,6 +625,6 @@ class RmaRuntime:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"RmaRuntime(nprocs={self.nprocs}, windows={len(self.windows)}, "
-            f"interceptors={len(self.interceptors)})"
+            f"RmaRuntime(nprocs={self.nprocs}, backend={self.backend.name!r}, "
+            f"windows={len(self.windows)}, interceptors={len(self.interceptors)})"
         )

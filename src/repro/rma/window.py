@@ -80,6 +80,15 @@ class Window:
         self._check_alive(rank)
         return self.buffers[rank][offset : offset + count]
 
+    def check_access(self, rank: int, offset: int, count: int) -> None:
+        """Validate a prospective access without performing it.
+
+        Called by the runtime at *issue* time so a malformed nonblocking
+        operation fails where it was written, identically on every backend —
+        not at the flush that would eventually have applied it.
+        """
+        self._check_range(rank, offset, count)
+
     def snapshot(self, rank: int) -> np.ndarray:
         """A deep copy of ``rank``'s entire buffer (checkpoint payload)."""
         self._check_rank(rank)
@@ -123,7 +132,10 @@ class Window:
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nprocs:
-            raise WindowError(f"rank {rank} out of range 0..{self.nprocs - 1}")
+            raise WindowError(
+                f"rank {rank} out of range 0..{self.nprocs - 1} for window "
+                f"{self.name!r}"
+            )
 
     def _check_alive(self, rank: int) -> None:
         if rank in self._invalidated:
@@ -134,11 +146,19 @@ class Window:
     def _check_range(self, rank: int, offset: int, count: int) -> None:
         self._check_rank(rank)
         if count <= 0:
-            raise WindowError("count must be positive")
-        if offset < 0 or offset + count > self.size:
+            raise WindowError(
+                f"zero-length access (count={count}) on window {self.name!r} "
+                f"at rank {rank}; counts must be positive"
+            )
+        if offset < 0:
+            raise WindowError(
+                f"negative offset {offset} into window {self.name!r} at rank "
+                f"{rank}"
+            )
+        if offset + count > self.size:
             raise WindowError(
                 f"access [{offset}, {offset + count}) out of bounds for window "
-                f"{self.name!r} of size {self.size}"
+                f"{self.name!r} of size {self.size} at rank {rank}"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
