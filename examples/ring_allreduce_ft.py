@@ -89,9 +89,13 @@ def run_allreduce(
     procs_per_node: int = 2,
     failure_schedule: FailureSchedule | None = None,
     backend: str = "sim",
+    store: str = "memory",
+    recovery: str = "global",
 ) -> AllreduceResult:
     """Run the full allreduce; the session recovers injected failures."""
-    policy = repro.FaultTolerancePolicy(interval=ckpt_interval)
+    policy = repro.FaultTolerancePolicy(
+        interval=ckpt_interval, store=store, recovery=recovery
+    )
     with repro.launch(
         nprocs,
         topology=repro.Topology(procs_per_node=procs_per_node),
@@ -147,6 +151,20 @@ def main() -> None:
         vector = run_allreduce(nprocs=nprocs, failure_schedule=sched, backend="vector")
         identical = np.array_equal(reference.vectors, vector.vectors)
         print(f"vector backend {label}: bit-identical to sim = {identical}")
+        if not identical:
+            raise SystemExit(1)
+
+    # The ring's combining accumulates are exactly the operations a naive
+    # log re-application would double-apply (the paper's M flag, §3.2.3);
+    # localized replay suppresses them against survivors and must still end
+    # bit-identical to the global rollback on every backend.
+    for backend in ("sim", "vector"):
+        localized = run_allreduce(
+            nprocs=nprocs, failure_schedule=schedule, backend=backend,
+            recovery="localized",
+        )
+        identical = np.array_equal(recovered.vectors, localized.vectors)
+        print(f"localized recovery ({backend}): bit-identical to global = {identical}")
         if not identical:
             raise SystemExit(1)
 

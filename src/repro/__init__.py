@@ -31,6 +31,16 @@ from repro.api import (
 )
 from repro.backends import Backend, SimBackend, VectorBackend, make_backend
 from repro.errors import ReproError
+from repro.ft import (
+    CheckpointStore,
+    ContinueDegraded,
+    DiskStore,
+    GlobalRollback,
+    LocalizedReplay,
+    MemoryStore,
+    ParityStore,
+    RecoveryProtocol,
+)
 from repro.rma.handles import OpHandle
 
 __all__ = [
@@ -47,8 +57,16 @@ __all__ = [
     "SimBackend",
     "VectorBackend",
     "make_backend",
+    "CheckpointStore",
+    "MemoryStore",
+    "DiskStore",
+    "ParityStore",
+    "RecoveryProtocol",
+    "GlobalRollback",
+    "LocalizedReplay",
+    "ContinueDegraded",
     "ReproError",
     "__version__",
 ]
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

@@ -20,7 +20,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import PolicyError
+from repro.ft.protocols import PROTOCOLS, RecoveryProtocol
 from repro.ft.stack import FtStack, build_ft_stack
+from repro.ft.stores import STORES, CheckpointStore
+from repro.registry import resolve_component
 from repro.simulator.cluster import Cluster
 from repro.simulator.costs import CostModel
 from repro.simulator.failures import FailureSchedule
@@ -81,10 +84,22 @@ class FaultTolerancePolicy:
         FDH level across which checkpoint buddies are spread (§5); ``1``
         means "a different compute node".
     keep_versions:
-        Committed checkpoint versions retained in memory.
+        Committed checkpoint versions the store retains.
     log_actions:
         Whether to keep the put/get :class:`~repro.ft.checkpoint.ActionLog`;
-        forced on when ``demand_threshold_bytes`` is set.
+        forced on when ``demand_threshold_bytes`` is set or when
+        ``recovery="localized"`` (the log is what it replays).
+    store:
+        Checkpoint placement strategy — ``"memory"`` (default; local + buddy
+        copies, §3.1/§5), ``"disk"`` (spill to a directory, survives node
+        loss), ``"parity"`` (XOR stripe across t-aware groups, §3.3), or a
+        ready :class:`~repro.ft.stores.CheckpointStore` instance.
+    recovery:
+        Recovery protocol strategy — ``"global"`` (default; coordinated
+        rollback of every rank, §4.2), ``"localized"`` (only failed ranks
+        restore, survivors keep state, the log replays, §7), ``"degraded"``
+        (failed ranks are excised, survivors continue best-effort), or a
+        ready :class:`~repro.ft.protocols.RecoveryProtocol` instance.
     """
 
     interval: int | None = 10
@@ -92,6 +107,8 @@ class FaultTolerancePolicy:
     buddy_level: int = 1
     keep_versions: int = 2
     log_actions: bool = True
+    store: "CheckpointStore | str" = "memory"
+    recovery: "RecoveryProtocol | str" = "global"
 
     def __post_init__(self) -> None:
         if self.interval is not None and self.interval < 1:
@@ -102,13 +119,24 @@ class FaultTolerancePolicy:
             raise PolicyError("buddy_level must be at least 1")
         if self.keep_versions < 1:
             raise PolicyError("keep_versions must be at least 1")
+        # Reject unknown names at declaration time, through the same shared
+        # resolver every seam uses (same error shape, nothing instantiated).
+        resolve_component(
+            "store", self.store, STORES, CheckpointStore, PolicyError, dry_run=True
+        )
+        resolve_component(
+            "recovery", self.recovery, PROTOCOLS, RecoveryProtocol, PolicyError,
+            dry_run=True,
+        )
 
     def install(self, runtime: "RmaRuntime") -> FtStack:
-        """Wire the protocol onto ``runtime`` (log, checkpointer, recovery)."""
+        """Wire the protocol onto ``runtime`` (log, store, checkpointer, recovery)."""
         return build_ft_stack(
             runtime,
             buddy_level=self.buddy_level,
             demand_threshold_bytes=self.demand_threshold_bytes,
             keep_versions=self.keep_versions,
             log_actions=self.log_actions,
+            store=self.store,
+            recovery=self.recovery,
         )

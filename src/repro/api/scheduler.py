@@ -58,8 +58,14 @@ class CooperativeScheduler:
         after closing all suspended generators and clearing context state.
         """
         active: list[tuple[RankContext, Generator]] = []
+        excised = self.runtime.excised
         try:
             for ctx in self.contexts:
+                if ctx.rank in excised:
+                    # Ranks removed by a degraded continuation have no
+                    # replacement process; the shrunk membership simply skips
+                    # them (best-effort mode).
+                    continue
                 result = kernel(ctx, step)
                 if inspect.isgenerator(result):
                     active.append((ctx, result))

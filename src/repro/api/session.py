@@ -30,9 +30,10 @@ import numpy as np
 from repro.api.context import RankContext
 from repro.api.policy import FaultTolerancePolicy, Topology
 from repro.api.scheduler import CooperativeScheduler, Kernel
-from repro.backends import Backend
-from repro.errors import ApiError, ProcessFailedError, RecoveryError
+from repro.backends import BACKENDS, Backend
+from repro.errors import ApiError, PolicyError, ProcessFailedError, RecoveryError
 from repro.ft.stack import FtStack
+from repro.registry import resolve_component
 from repro.rma.runtime import RmaRuntime
 from repro.rma.window import Window
 from repro.simulator.failures import FailureSchedule
@@ -58,6 +59,12 @@ class JobReport:
     demand_checkpoints: int
     #: Completed recoveries (each may cover several simultaneous failures).
     recoveries: int
+    #: Localized (log-based) recoveries among them.
+    localized_recoveries: int
+    #: Localized recoveries that had to fall back to a global rollback.
+    recovery_fallbacks: int
+    #: Ranks permanently excised by a degraded continuation.
+    excised_ranks: int
     #: Job makespan in virtual seconds.
     elapsed: float
     #: Full metrics snapshot for detailed reporting.
@@ -65,10 +72,11 @@ class JobReport:
 
     def describe(self) -> str:
         """Human-readable one-liner."""
+        degraded = f", {self.excised_ranks} ranks excised" if self.excised_ranks else ""
         return (
             f"{self.steps_executed} steps executed, "
             f"{self.checkpoints} checkpoints ({self.demand_checkpoints} on demand), "
-            f"{self.recoveries} recoveries, "
+            f"{self.recoveries} recoveries{degraded}, "
             f"makespan {self.elapsed * 1e3:.3f} ms (virtual)"
         )
 
@@ -95,7 +103,13 @@ class Job:
         self.topology = topology or Topology()
         self.policy = ft
         self.cluster = self.topology.build(nprocs, failure_schedule=failures)
-        self.runtime = RmaRuntime(self.cluster, record=record, backend=backend)
+        # Resolve the backend at the session boundary so a typo fails here,
+        # as a PolicyError naming the registered choices, before any cluster
+        # state exists.
+        resolved_backend = resolve_component(
+            "backend", backend, BACKENDS, Backend, PolicyError, default="sim"
+        )
+        self.runtime = RmaRuntime(self.cluster, record=record, backend=resolved_backend)
         self.contexts: list[RankContext] = [
             RankContext(self.runtime, rank) for rank in range(nprocs)
         ]
@@ -104,6 +118,7 @@ class Job:
         self.ft: FtStack | None = ft.install(self.runtime) if ft is not None else None
         self._have_checkpoint = False
         self._steps_executed = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,11 +132,32 @@ class Job:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.finalize()
+        self.close()
+
+    def close(self) -> None:
+        """Finish the session and tear the fault-tolerance stack down.
+
+        Flushes interceptor statistics, then fully uninstalls the FT stack
+        (interceptors removed, store closed — releasing disk-spill scratch
+        directories — recovery manager detached).  Idempotent: entering the
+        job as a context manager and also calling ``close()`` explicitly is
+        fine.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.runtime.finalize()
+        if self.ft is not None:
+            self.ft.uninstall(self.runtime)
 
     def finalize(self) -> None:
-        """Finish the session (idempotent)."""
-        self.runtime.finalize()
+        """Finish the session (idempotent).  Alias of :meth:`close`."""
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the session has been closed."""
+        return self._closed
 
     # ------------------------------------------------------------------
     # Windows and data
@@ -183,14 +219,22 @@ class Job:
             try:
                 self._checkpoint_hook(step)
                 self.scheduler.run_step(kernel, step)
+                # Boundary bookkeeping runs twice: once when the kernels have
+                # finished (their local stores are in), and once more after
+                # the step-closing sync (which may complete — and log — the
+                # step's outstanding nonblocking operations).  A crash inside
+                # that sync thus finds the log marked *after* the kernels'
+                # local work, so a localized replay never re-applies it.
+                self._step_boundary_hook()
                 if self.sync_each_step:
                     self.runtime.gsync()
+                    self._step_boundary_hook()
                 step += 1
                 self._steps_executed += 1
             except ProcessFailedError:
                 if self.ft is None:
                     raise
-                step = self._recover(start_step)
+                step = self._recover(start_step, step)
         return self.report()
 
     def report(self) -> JobReport:
@@ -201,6 +245,9 @@ class Job:
             checkpoints=int(metrics.get("ft.checkpoints")),
             demand_checkpoints=int(metrics.get("ft.demand_checkpoints")),
             recoveries=int(metrics.get("ft.recoveries")),
+            localized_recoveries=int(metrics.get("ft.localized_recoveries")),
+            recovery_fallbacks=int(metrics.get("ft.recovery_fallbacks")),
+            excised_ranks=len(self.runtime.excised),
             elapsed=self.cluster.elapsed(),
             metrics=metrics.snapshot(),
         )
@@ -216,8 +263,15 @@ class Job:
         """
         if self.ft is None:
             return
+        if self.runtime.replaying:
+            # A localized recovery's replay is re-executing logged work; the
+            # log being replayed must not be truncated by a fresh checkpoint
+            # until the re-execution has caught up with the crash point.
+            return
         self.runtime.observe_failures()
-        dead = self.cluster.failed_ranks()
+        dead = [
+            r for r in self.cluster.failed_ranks() if r not in self.runtime.excised
+        ]
         if dead:
             raise ProcessFailedError(
                 dead[0], f"step {step} observed failed ranks {dead}"
@@ -231,20 +285,41 @@ class Job:
         elif policy.demand_threshold_bytes is not None:
             self.ft.checkpointer.maybe_checkpoint(tag=step)
 
-    def _recover(self, start_step: int) -> int:
-        """Roll back to the newest usable checkpoint; return its step.
+    def _step_boundary_hook(self) -> None:
+        """Bookkeeping at the end of every completed step.
+
+        Step boundaries anchor the localized-recovery machinery: during a
+        replay they advance the cursor's phases (and end replay mode once the
+        log has drained); in normal execution they mark the put/get log so a
+        later replay knows where the fully-completed steps end.
+        """
+        if self.ft is None:
+            return
+        if self.runtime.replaying:
+            self.runtime.replay_step_boundary()
+        elif self.ft.log is not None:
+            self.ft.log.mark_step()
+
+    def _recover(self, start_step: int, current_step: int) -> int:
+        """Run the declared recovery protocol; return the step to resume at.
 
         A further failure can strike *during* recovery (its closing barrier
         observes it); recovery is retried until one attempt completes — the
-        checkpoint store survives across attempts.
+        checkpoint store survives across attempts.  The resume step depends
+        on the protocol's outcome: rollback and replay resume at the restored
+        checkpoint's step (replay under an active cursor, so survivors'
+        completed work is suppressed rather than redone); a degraded
+        continuation re-executes the aborted step with the shrunk membership.
         """
         assert self.ft is not None
         while True:
             try:
-                tag = self.ft.recovery.recover()
+                outcome = self.ft.recovery.recover()
             except ProcessFailedError:
                 continue
-            step = int(tag)
+            if outcome.kind == "degraded":
+                return current_step
+            step = int(outcome.tag)
             if step < start_step:
                 # Only possible when the phase-opening checkpoint itself was
                 # interrupted: the restored state belongs to an earlier phase

@@ -20,6 +20,7 @@ from repro.backends.base import Backend, apply_action
 from repro.backends.sim import SimBackend
 from repro.backends.vector import VectorBackend
 from repro.errors import BackendError
+from repro.registry import resolve_component
 
 __all__ = ["Backend", "SimBackend", "VectorBackend", "BACKENDS", "make_backend", "apply_action"]
 
@@ -30,23 +31,13 @@ BACKENDS: dict[str, type[Backend]] = {
 }
 
 
-def make_backend(spec: str | Backend | None) -> Backend:
+def make_backend(spec: "str | Backend | None") -> Backend:
     """Resolve a backend specification into a fresh (or given) instance.
 
     ``None`` means the default (``"sim"``); a string is looked up in
     :data:`BACKENDS`; a :class:`Backend` instance is passed through so tests
     and instrumented runs can inject custom implementations.
     """
-    if spec is None:
-        return SimBackend()
-    if isinstance(spec, Backend):
-        return spec
-    if isinstance(spec, str):
-        try:
-            return BACKENDS[spec]()
-        except KeyError:
-            known = ", ".join(sorted(BACKENDS))
-            raise BackendError(
-                f"unknown backend {spec!r}; available backends: {known}"
-            ) from None
-    raise BackendError(f"backend must be a name or a Backend instance, got {spec!r}")
+    return resolve_component(
+        "backend", spec, BACKENDS, Backend, BackendError, default=SimBackend.name
+    )

@@ -41,9 +41,14 @@ def apply_action(action: CommAction, win: Window) -> None:
 
     Get-like actions deposit the fetched values into ``action.data`` (the
     handle exposes them after completion); put-like actions mutate the
-    target's buffer.  Shared by all backends so the per-op semantics cannot
-    drift between them.
+    target's buffer.  Before a get-like atomic overwrites ``data`` with the
+    fetched previous values, the issued operand is preserved in
+    ``action.operand`` so the fault-tolerance log can later re-apply the
+    action to a restored window (log-based recovery, §7).  Shared by all
+    backends so the per-op semantics cannot drift between them.
     """
+    if action.kind.is_put_like and action.operand is None:
+        action.operand = action.data
     if action.kind is OpKind.PUT:
         win.write(action.trg, action.offset, action.data)
     elif action.kind is OpKind.GET:
@@ -98,6 +103,17 @@ class Backend(abc.ABC):
     def invalidate_rank(self, rank: int) -> None:
         """A rank failed: its buffers are lost in every window."""
         self.windows.invalidate_rank(rank)
+
+    def set_capture_undo(self, enabled: bool) -> None:
+        """Ask the backend to make :meth:`discard_pending` effect-free.
+
+        Recovery protocols that keep survivor state (localized replay,
+        degraded continuation) require that discarding uncommitted operations
+        leaves window memory exactly as if they were never issued.  A backend
+        that defers all effects to completion time already satisfies this and
+        may ignore the request; an eager backend must capture undo data at
+        issue time while the flag is set.
+        """
 
     def reallocate_rank(self, rank: int) -> None:
         """A replacement process arrived: give it fresh buffers everywhere."""

@@ -9,9 +9,20 @@ buffer observes the target exactly as it stands when the epoch closes, on
 every backend alike.  Completion (handle state, interceptor ``after_comm``)
 is likewise deferred to the runtime's completion points, which is what makes
 the completion stream identical to batching backends.
+
+Eager execution means discarded (issued-but-uncompleted) operations have
+already touched memory.  A coordinated rollback does not care — the restore
+overwrites everything — but recovery protocols that keep survivor state
+(localized replay, degraded continuation) do: when
+:meth:`~repro.backends.base.Backend.set_capture_undo` is enabled, the backend
+snapshots the overwritten range of every put-like action at issue time and
+:meth:`discard_pending` rolls those writes back in reverse issue order, so a
+discard is effect-free exactly as it is on a deferring backend.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.backends.base import Backend, apply_action
 from repro.rma.actions import OpKind
@@ -28,23 +39,32 @@ class SimBackend(Backend):
 
     def __init__(self) -> None:
         super().__init__()
-        #: Issued-but-not-completed (handle, window) pairs per origin; write
-        #: effects are already applied, pure gets read at completion.
-        self._pending: dict[int, list[tuple[OpHandle, Window]]] = {}
+        #: Issued-but-not-completed (handle, window, undo) triples per origin;
+        #: write effects are already applied, pure gets read at completion.
+        #: ``undo`` is the overwritten range (or ``None`` when capture is off).
+        self._pending: dict[int, list[tuple[OpHandle, Window, np.ndarray | None]]] = {}
+        self._capture_undo = False
 
     # ------------------------------------------------------------------
+    def set_capture_undo(self, enabled: bool) -> None:
+        self._capture_undo = enabled
+
     def issue(self, handle: OpHandle, win: Window) -> None:
-        if handle.action.kind is not OpKind.GET:
-            apply_action(handle.action, win)
-        self._pending.setdefault(handle.action.src, []).append((handle, win))
+        action = handle.action
+        undo: np.ndarray | None = None
+        if action.kind is not OpKind.GET:
+            if self._capture_undo and action.kind.is_put_like:
+                undo = win.read(action.trg, action.offset, action.count)
+            apply_action(action, win)
+        self._pending.setdefault(action.src, []).append((handle, win, undo))
 
     def complete(self, src: int, trg: int) -> list[OpHandle]:
         queue = self._pending.get(src)
         if not queue:
             return []
-        done = [(h, w) for h, w in queue if h.action.trg == trg]
+        done = [entry for entry in queue if entry[0].action.trg == trg]
         if done:
-            self._pending[src] = [(h, w) for h, w in queue if h.action.trg != trg]
+            self._pending[src] = [e for e in queue if e[0].action.trg != trg]
         return self._finish(done)
 
     def complete_rank(self, src: int) -> list[OpHandle]:
@@ -56,15 +76,23 @@ class SimBackend(Backend):
         return sum(len(queue) for queue in self._pending.values())
 
     def discard_pending(self) -> list[OpHandle]:
-        discarded = [h for queue in self._pending.values() for h, _ in queue]
+        entries = [entry for queue in self._pending.values() for entry in queue]
         self._pending.clear()
-        return discarded
+        # Undo eagerly-applied writes newest-first so overlapping ranges land
+        # back on their pre-issue contents.  Invalidated (failed) targets are
+        # skipped: their memory is lost and will be restored from a checkpoint.
+        for handle, win, undo in sorted(
+            entries, key=lambda e: e[0].action.seq, reverse=True
+        ):
+            if undo is not None and not win.is_invalidated(handle.action.trg):
+                win.write(handle.action.trg, handle.action.offset, undo)
+        return [handle for handle, _, _ in entries]
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _finish(batch: list[tuple[OpHandle, Window]]) -> list[OpHandle]:
+    def _finish(batch: list[tuple[OpHandle, Window, np.ndarray | None]]) -> list[OpHandle]:
         """Perform the deferred reads of pure gets; return handles in issue order."""
-        for handle, win in batch:
+        for handle, win, _ in batch:
             if handle.action.kind is OpKind.GET:
                 apply_action(handle.action, win)
-        return [h for h, _ in batch]
+        return [handle for handle, _, _ in batch]

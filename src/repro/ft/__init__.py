@@ -1,15 +1,21 @@
-"""Fault-tolerance protocols on top of the RMA runtime (§3–§6).
+"""Fault-tolerance protocols on top of the RMA runtime (§3–§7).
 
 * :mod:`~repro.ft.groups` — topology-aware (t-aware) buddy and group
   construction over the failure-domain hierarchy (§5, Eq. 6);
-* :mod:`~repro.ft.checkpoint` — coordinated in-memory checkpointing of window
-  contents with buddy placement across failure domains, plus demand
-  checkpoints driven by the interceptor's put/get log (§3.1, §6.2);
-* :mod:`~repro.ft.recovery` — the recovery path: respawn a dead rank,
-  reallocate its invalidated window buffers and restore every rank from the
-  newest surviving coordinated checkpoint (§4.2–§4.3);
+* :mod:`~repro.ft.stores` — pluggable checkpoint placement strategies:
+  in-memory buddy copies (§3.1, §5), disk spill (the SCR-PFS baseline of
+  §7) and XOR parity stripes across t-aware groups (§3.3);
+* :mod:`~repro.ft.checkpoint` — the coordinated checkpointer (epoch-boundary
+  guard, §3.1.2) with demand checkpoints driven by the interceptor's put/get
+  log (§6.2); the log also retains the completed actions for replay;
+* :mod:`~repro.ft.protocols` — pluggable recovery strategies: coordinated
+  global rollback (§4.2–§4.3), localized log-based replay restoring only the
+  failed ranks (§7, with the §3.2.3 fallback), and best-effort degraded
+  continuation;
+* :mod:`~repro.ft.recovery` — the :class:`RecoveryManager` dispatching
+  failures to the configured protocol;
 * :mod:`~repro.ft.stack` — one-call construction of the whole protocol
-  (log + checkpointer + recovery) from plain parameters, used by the
+  (log + store + checkpointer + recovery) from plain parameters, used by the
   declarative policy of :mod:`repro.api`.
 """
 
@@ -20,14 +26,46 @@ from repro.ft.checkpoint import (
     InMemoryCheckpointStore,
 )
 from repro.ft.groups import buddy_assignment, group_spread, t_aware_groups
+from repro.ft.protocols import (
+    PROTOCOLS,
+    ContinueDegraded,
+    GlobalRollback,
+    LocalizedReplay,
+    RecoveryOutcome,
+    RecoveryProtocol,
+    make_protocol,
+)
 from repro.ft.recovery import RecoveryManager
 from repro.ft.stack import FtStack, build_ft_stack
+from repro.ft.stores import (
+    STORES,
+    CheckpointStore,
+    DiskStore,
+    MemoryStore,
+    ParityStore,
+    RestorePayload,
+    make_store,
+)
 
 __all__ = [
     "ActionLog",
     "CheckpointVersion",
     "CoordinatedCheckpointer",
     "InMemoryCheckpointStore",
+    "CheckpointStore",
+    "MemoryStore",
+    "DiskStore",
+    "ParityStore",
+    "RestorePayload",
+    "STORES",
+    "make_store",
+    "RecoveryProtocol",
+    "RecoveryOutcome",
+    "GlobalRollback",
+    "LocalizedReplay",
+    "ContinueDegraded",
+    "PROTOCOLS",
+    "make_protocol",
     "buddy_assignment",
     "group_spread",
     "t_aware_groups",

@@ -1,35 +1,39 @@
-"""In-memory checkpointing of window contents (§3.1, §6.2).
+"""Coordinated checkpointing of window contents (§3.1, §6.2).
 
-Checkpoints are *diskless*: every rank keeps a copy of its window contents in
-its own memory **and** sends a second copy to a buddy rank chosen by
-:func:`~repro.ft.groups.buddy_assignment` in a different failure domain.  A
-copy survives exactly as long as the memory holding it does — when a rank
-fails, its local copies and every buddy copy it was holding for others are
-lost.  Restoring therefore works as long as no rank *and* its buddy die
-together, which the topology-aware placement makes unlikely (§5).
+The :class:`CoordinatedCheckpointer` decides *when* a checkpoint is taken —
+collectively, at an epoch boundary, with the Locks scheme's guard (§3.1.2)
+refusing to start while any rank holds a lock — and hands the per-rank window
+snapshots to a pluggable :class:`~repro.ft.stores.CheckpointStore`, which
+decides *where* the copies live (in-memory buddies, disk, XOR parity; §3.1,
+§3.3, §5).
 
 Two triggers are supported:
 
 * **Coordinated** checkpoints (§3.1): a collective
-  :meth:`CoordinatedCheckpointer.checkpoint` taken at an epoch boundary; the
-  Locks scheme's guard (§3.1.2) refuses to start while any rank holds a lock
-  (``LC > 0``).
+  :meth:`CoordinatedCheckpointer.checkpoint` taken at an epoch boundary.
 * **Demand** checkpoints (§6.2): an :class:`ActionLog` interceptor accumulates
   the put/get log; when the logged volume passes a threshold,
   :meth:`CoordinatedCheckpointer.maybe_checkpoint` takes a fresh checkpoint
   and truncates the log — bounding log growth exactly like the paper's
   demand checkpoints.
+
+The :class:`ActionLog` is also the substrate of log-based recovery (§7): it
+retains the completed actions themselves — determinants *and* payloads — so
+:class:`~repro.ft.protocols.LocalizedReplay` can rebuild a failed rank's
+post-checkpoint state without rolling survivors back.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-import numpy as np
-
 from repro.errors import CheckpointError, EpochError
-from repro.ft.groups import buddy_assignment
+from repro.ft.stores import (
+    CheckpointStore,
+    CheckpointVersion,
+    MemoryStore,
+    make_store,
+)
 from repro.rma.actions import CommAction
 from repro.rma.interceptor import RmaInterceptor
 
@@ -42,6 +46,10 @@ __all__ = [
     "InMemoryCheckpointStore",
     "CoordinatedCheckpointer",
 ]
+
+#: Backwards-compatible name for the default store: earlier revisions shipped
+#: exactly one placement strategy under this name.
+InMemoryCheckpointStore = MemoryStore
 
 
 class ActionLog(RmaInterceptor):
@@ -57,15 +65,35 @@ class ActionLog(RmaInterceptor):
     origin's log; the bookkeeping plus the local copy of put data is charged
     on the origin's clock as protocol overhead (the paper's logging cost).
     The per-rank logged volume drives demand checkpoints.
+
+    With ``retain_actions`` (on by default, but disabled by
+    :func:`~repro.ft.stack.build_ft_stack` for protocols that never replay)
+    the log also retains, since the last truncation, the completed
+    :class:`~repro.rma.actions.CommAction` objects themselves, in completion
+    order — puts keep the operand they were issued with, gets the data they
+    fetched — which is what localized (log-based) recovery replays (§7).
+    Retention pins the payload arrays until the next truncation, so
+    protocols that only need the demand-checkpoint byte counts should turn
+    it off.
     """
 
     name = "action-log"
 
-    def __init__(self) -> None:
+    def __init__(self, *, retain_actions: bool = True) -> None:
+        self.retain_actions = retain_actions
         self._runtime: RmaRuntime | None = None
         #: Per-origin list of (determinant, nbytes) since the last truncation.
         self.entries: dict[int, list[tuple[tuple, int]]] = {}
         self.bytes_logged: dict[int, int] = {}
+        #: Completed actions since the last truncation, in completion order.
+        self.actions: list[CommAction] = []
+        #: Positions into :attr:`actions` marking completed job-step
+        #: boundaries (recorded by the session); everything past the last
+        #: marker is the partial work of a step a crash aborted.
+        self.step_marks: list[int] = []
+        #: While a localized recovery runs, respawns must not clear the log —
+        #: it is exactly what reconstructs the restored ranks' windows.
+        self._preserve_on_respawn = False
 
     def attach(self, runtime: "RmaRuntime") -> None:
         self._runtime = runtime
@@ -74,6 +102,8 @@ class ActionLog(RmaInterceptor):
         nbytes = action.nbytes
         self.entries.setdefault(action.src, []).append((action.determinant(), nbytes))
         self.bytes_logged[action.src] = self.bytes_logged.get(action.src, 0) + nbytes
+        if self.retain_actions:
+            self.actions.append(action)
         if self._runtime is not None:
             costs = self._runtime.cluster.costs
             overhead = costs.log_bookkeeping
@@ -81,10 +111,31 @@ class ActionLog(RmaInterceptor):
                 overhead += costs.local_copy(nbytes)
             self._runtime.cluster.advance(action.src, overhead, kind="protocol")
 
+    def on_recovery_start(self, ranks: list[int], *, localized: bool) -> None:
+        self._preserve_on_respawn = localized
+
+    def on_recovery_complete(self, ranks: list[int]) -> None:
+        self._preserve_on_respawn = False
+
     def on_respawn(self, rank: int) -> None:
+        if self._preserve_on_respawn:
+            return
         # A replacement process starts with an empty log (its memory is new).
+        # Positions in step_marks go stale with the filtering; the rollback
+        # protocols that take this path truncate the whole log right after.
         self.entries.pop(rank, None)
         self.bytes_logged.pop(rank, None)
+        self.actions = [a for a in self.actions if a.src != rank]
+        self.step_marks = [m for m in self.step_marks if m <= len(self.actions)]
+
+    def mark_step(self) -> None:
+        """Record a completed job-step boundary (called by the session)."""
+        if not self.step_marks or self.step_marks[-1] != len(self.actions):
+            self.step_marks.append(len(self.actions))
+
+    def last_mark(self) -> int:
+        """Log position of the last completed step boundary (0 if none)."""
+        return self.step_marks[-1] if self.step_marks else 0
 
     def max_logged_bytes(self) -> int:
         """Largest per-rank logged volume since the last truncation."""
@@ -94,109 +145,20 @@ class ActionLog(RmaInterceptor):
         """Sum of logged volume over all ranks."""
         return sum(self.bytes_logged.values())
 
+    def actions_targeting(self, ranks: set[int]) -> list[CommAction]:
+        """Logged actions whose target is one of ``ranks``, completion order."""
+        return [a for a in self.actions if a.trg in ranks]
+
     def truncate(self) -> None:
         """Drop the log (a fresh checkpoint makes replaying it unnecessary)."""
         self.entries.clear()
         self.bytes_logged.clear()
-
-
-@dataclass
-class CheckpointVersion:
-    """One coordinated checkpoint: window contents of every rank, twice."""
-
-    version: int
-    tag: Any
-    taken_at: float
-    buddy_of: dict[int, int]
-    #: Copy kept in the owner's own memory: ``owner -> window -> data``.
-    local: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
-    #: Copy held in the buddy's memory: ``owner -> window -> data``.
-    remote: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
-    #: Per-rank epoch state at checkpoint time (restored on rollback so
-    #: survivors do not keep post-checkpoint epochs/pending operations).
-    epoch_states: list | None = None
-    #: Per-rank counter state (EC/GC/SC/GNC/LC and held locks) at checkpoint
-    #: time; restoring it releases locks acquired after the checkpoint.
-    counter_states: list | None = None
-
-    def payload_for(self, owner: int) -> tuple[str, dict[str, np.ndarray]] | None:
-        """The surviving copy of ``owner``'s windows: ``("local"|"buddy", data)``.
-
-        ``None`` when both copies were lost (owner and its buddy both failed
-        since the checkpoint was taken).
-        """
-        if owner in self.local:
-            return ("local", self.local[owner])
-        if owner in self.remote:
-            return ("buddy", self.remote[owner])
-        return None
-
-    def drop_rank(self, rank: int) -> None:
-        """Lose every copy stored in ``rank``'s memory (it failed)."""
-        self.local.pop(rank, None)
-        for owner, buddy in self.buddy_of.items():
-            if buddy == rank:
-                self.remote.pop(owner, None)
-
-    def usable_for(self, ranks: list[int]) -> bool:
-        """Whether every rank of ``ranks`` still has at least one copy."""
-        return all(self.payload_for(rank) is not None for rank in ranks)
-
-    def nbytes(self) -> int:
-        """Total memory held by this version across all copies."""
-        total = 0
-        for copies in (self.local, self.remote):
-            for windows in copies.values():
-                total += sum(int(data.nbytes) for data in windows.values())
-        return total
-
-
-class InMemoryCheckpointStore:
-    """All checkpoint versions currently held in the job's memory."""
-
-    def __init__(self, keep_versions: int = 2) -> None:
-        if keep_versions < 1:
-            raise CheckpointError("the store must keep at least one version")
-        self.keep_versions = keep_versions
-        self.versions: list[CheckpointVersion] = []
-        self._next_version = 0
-
-    def commit(self, version: CheckpointVersion) -> CheckpointVersion:
-        """Publish a fully-populated version; evict the oldest beyond the limit.
-
-        Called only after the closing barrier confirmed that every rank
-        completed its copies — a checkpoint interrupted by a failure is never
-        committed.
-        """
-        version.version = self._next_version
-        self._next_version += 1
-        self.versions.append(version)
-        while len(self.versions) > self.keep_versions:
-            self.versions.pop(0)
-        return version
-
-    def latest(self) -> CheckpointVersion | None:
-        """The newest version, complete or not."""
-        return self.versions[-1] if self.versions else None
-
-    def latest_usable(self, ranks: list[int]) -> CheckpointVersion | None:
-        """The newest version with a surviving copy for every rank of ``ranks``."""
-        for version in reversed(self.versions):
-            if version.usable_for(ranks):
-                return version
-        return None
-
-    def drop_rank(self, rank: int) -> None:
-        """Propagate a rank failure to every stored version."""
-        for version in self.versions:
-            version.drop_rank(rank)
-
-    def __len__(self) -> int:
-        return len(self.versions)
+        self.actions.clear()
+        self.step_marks.clear()
 
 
 class CoordinatedCheckpointer(RmaInterceptor):
-    """Takes coordinated in-memory checkpoints with t-aware buddy placement.
+    """Takes coordinated checkpoints through a pluggable placement store.
 
     Register it on the runtime with
     :meth:`~repro.rma.runtime.RmaRuntime.add_interceptor` so that failures
@@ -206,8 +168,13 @@ class CoordinatedCheckpointer(RmaInterceptor):
     Parameters
     ----------
     level:
-        FDH level across which buddies are spread; ``1`` means "a different
-        compute node", higher levels survive larger failure domains (§5).
+        FDH level across which buddy/parity placement is spread; ``1`` means
+        "a different compute node", higher levels survive larger failure
+        domains (§5).
+    store:
+        A :class:`~repro.ft.stores.CheckpointStore` instance or registered
+        name (``"memory"``, ``"disk"``, ``"parity"``); defaults to the
+        in-memory buddy scheme.
     log:
         Optional :class:`ActionLog` driving demand checkpoints.
     demand_threshold_bytes:
@@ -220,20 +187,24 @@ class CoordinatedCheckpointer(RmaInterceptor):
         self,
         *,
         level: int = 1,
-        store: InMemoryCheckpointStore | None = None,
+        store: CheckpointStore | str | None = None,
         log: ActionLog | None = None,
         demand_threshold_bytes: int | None = None,
     ) -> None:
         self.level = level
-        self.store = store or InMemoryCheckpointStore()
+        self.store = make_store(store)
         self.log = log
         self.demand_threshold_bytes = demand_threshold_bytes
-        self.buddies: dict[int, int] = {}
         self._runtime: RmaRuntime | None = None
 
     def attach(self, runtime: "RmaRuntime") -> None:
         self._runtime = runtime
-        self.buddies = buddy_assignment(runtime.cluster.placement, self.level)
+        self.store.bind(runtime, level=self.level)
+
+    @property
+    def buddies(self) -> dict[int, int]:
+        """Buddy assignment of the store, if its placement uses buddies."""
+        return getattr(self.store, "buddies", {})
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -249,11 +220,12 @@ class CoordinatedCheckpointer(RmaInterceptor):
 
         The checkpoint must start at an epoch boundary: per the Locks scheme
         (§3.1.2) no rank may hold a lock, and per §2.4 every rank must be
-        alive (recovery must complete first).
+        alive (recovery must complete first; ranks excised by a degraded
+        continuation are no longer members and do not count).
         """
         runtime = self.runtime
         cluster = runtime.cluster
-        dead = cluster.failed_ranks()
+        dead = [r for r in cluster.failed_ranks() if r not in runtime.excised]
         if dead:
             raise CheckpointError(
                 f"cannot checkpoint while ranks {dead} are failed; recover first"
@@ -271,31 +243,24 @@ class CoordinatedCheckpointer(RmaInterceptor):
                 f"nonblocking operations are issued and unflushed; complete "
                 f"them (flush/unlock/gsync) before checkpointing"
             )
-        # Coordination: agree to checkpoint (a barrier), then copy.
+        # Coordination: agree to checkpoint (a barrier), then copy.  Ranks
+        # excised by a degraded continuation are no longer members: they are
+        # neither snapshotted nor used as copy holders.
         cluster.barrier()
-        version = CheckpointVersion(
-            version=-1, tag=tag, taken_at=cluster.elapsed(), buddy_of=dict(self.buddies)
+        snapshots = {
+            rank: {
+                window.name: window.snapshot(rank)
+                for window in runtime.windows.all()
+            }
+            for rank in range(cluster.nprocs)
+            if rank not in runtime.excised
+        }
+        version = self.store.prepare(
+            tag=tag,
+            snapshots=snapshots,
+            epoch_states=runtime.epochs.snapshot(),
+            counter_states=runtime.counters.snapshot(),
         )
-        costs = cluster.costs
-        for rank in range(cluster.nprocs):
-            buddy = self.buddies[rank]
-            local_copy: dict[str, np.ndarray] = {}
-            remote_copy: dict[str, np.ndarray] = {}
-            copied_bytes = 0
-            for window in runtime.windows.all():
-                data = window.snapshot(rank)
-                local_copy[window.name] = data
-                remote_copy[window.name] = data.copy()
-                copied_bytes += int(data.nbytes)
-            version.local[rank] = local_copy
-            version.remote[rank] = remote_copy
-            # Local duplicate plus the transfer of the buddy copy.
-            cluster.advance(rank, costs.local_copy(copied_bytes), kind="protocol")
-            cluster.advance(rank, costs.remote_transfer(copied_bytes), kind="protocol")
-            cluster.advance(buddy, costs.local_copy(copied_bytes), kind="protocol")
-            cluster.metrics.incr("ft.checkpoint_bytes", 2 * copied_bytes, rank=rank)
-        version.epoch_states = runtime.epochs.snapshot()
-        version.counter_states = runtime.counters.snapshot()
         # The closing barrier confirms every copy completed; only then does
         # the version become restorable and the log dispensable.  A failure
         # firing during the checkpoint aborts it without committing anything.

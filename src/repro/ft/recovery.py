@@ -1,31 +1,24 @@
-"""Recovery from fail-stop failures (§4.2–§4.3).
+"""Recovery dispatch: hand failures to the configured protocol (§4.2–§4.3, §7).
 
-When the application observes a :class:`~repro.errors.ProcessFailedError` it
-hands control to the :class:`RecoveryManager`, which performs the paper's
-coordinated rollback:
-
-1. every failed rank is **respawned** — the batch system provides a
-   replacement process that inherits the rank number (§4.3);
-2. the replacement's invalidated window buffers are **reallocated**;
-3. every rank — replacements *and* survivors — **restores** its window
-   contents from the newest checkpoint version that still has a surviving
-   copy for all ranks: survivors read their own in-memory copy, replacements
-   pull theirs from the buddy over the network;
-4. a closing barrier re-synchronizes the job, and the application resumes
-   from the restored iteration (the checkpoint's ``tag``).
-
-If some rank lost both its copies (it failed together with its buddy and no
-older version helps), the run cannot be recovered in memory and
-:class:`~repro.errors.CatastrophicFailure` is raised — the paper's restart
-case (§3.3).
+When the application (or the session layer) observes a
+:class:`~repro.errors.ProcessFailedError` it calls
+:meth:`RecoveryManager.recover`, which delegates to the configured
+:class:`~repro.ft.protocols.RecoveryProtocol` strategy — coordinated global
+rollback, localized log-based replay, or best-effort degraded continuation —
+and returns its :class:`~repro.ft.protocols.RecoveryOutcome`.  The manager
+owns no protocol logic itself; it binds the runtime, the checkpointer (whose
+store the protocols restore from) and the chosen strategy together, and it
+enables undo capture on the backend when the strategy keeps survivor state.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING
 
-from repro.errors import CatastrophicFailure, RecoveryError
-from repro.ft.checkpoint import CheckpointVersion, CoordinatedCheckpointer
+from repro.errors import RecoveryError
+from repro.ft.checkpoint import ActionLog, CoordinatedCheckpointer
+from repro.ft.protocols import RecoveryOutcome, RecoveryProtocol, make_protocol
+from repro.ft.stores import CheckpointStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.rma.runtime import RmaRuntime
@@ -34,97 +27,67 @@ __all__ = ["RecoveryManager"]
 
 
 class RecoveryManager:
-    """Drives respawn + restore after one or more fail-stop failures."""
+    """Binds a runtime, a checkpointer and a recovery protocol strategy."""
 
-    def __init__(self, runtime: "RmaRuntime", checkpointer: CoordinatedCheckpointer) -> None:
-        self.runtime = runtime
-        self.checkpointer = checkpointer
-
-    @property
-    def store(self):
-        """The checkpoint store recovery restores from."""
-        return self.checkpointer.store
-
-    def recover(self) -> Any:
-        """Recover all currently failed ranks; return the restored checkpoint tag.
-
-        Raises
-        ------
-        RecoveryError
-            If no rank is failed (nothing to recover) or no checkpoint was
-            ever taken.
-        CatastrophicFailure
-            If no stored version has a surviving copy for every rank.
-        """
-        cluster = self.runtime.cluster
-        # Fire any failure whose time has passed but was not yet observed, so
-        # a single recovery handles simultaneous failures (e.g. a node loss).
-        self.runtime.observe_failures()
-        failed = cluster.failed_ranks()
-        if not failed:
-            raise RecoveryError("recover() called but no rank is failed")
-        if len(self.store) == 0:
-            raise RecoveryError("no checkpoint has been taken; cannot recover")
-        all_ranks = list(range(cluster.nprocs))
-        version = self.store.latest_usable(all_ranks)
-        if version is None:
-            raise CatastrophicFailure(
-                f"ranks {failed} failed and no stored checkpoint retains a "
-                f"copy for every rank; the job must restart"
-            )
-        # Operations issued after the checkpoint but never completed are part
-        # of the execution being undone: drop them from the backend's queues
-        # (and poison their handles) before restoring, or a later flush would
-        # replay them on top of the rolled-back windows.
-        self.runtime.discard_pending()
-        for rank in failed:
-            cluster.respawn_rank(rank)
-            # Through the backend hook (not the registry directly): storage
-            # ownership lives with the backend, and a custom one may rebuild
-            # per-rank state of its own on respawn.
-            self.runtime.backend.reallocate_rank(rank)
-            self.runtime.notify_respawn(rank)
-        self._restore_all(version)
-        # The rolled-back actions' log entries describe execution that is
-        # being undone; the restored checkpoint starts with an empty log.
-        if self.checkpointer.log is not None:
-            self.checkpointer.log.truncate()
-        cluster.barrier()
-        cluster.metrics.incr("ft.recoveries")
-        for rank in failed:
-            cluster.metrics.incr("ft.recovered_ranks", rank=rank)
-        return version.tag
+    def __init__(
+        self,
+        runtime: "RmaRuntime",
+        checkpointer: CoordinatedCheckpointer,
+        protocol: RecoveryProtocol | str | None = None,
+    ) -> None:
+        self.runtime: RmaRuntime | None = runtime
+        self.checkpointer: CoordinatedCheckpointer | None = checkpointer
+        self.protocol = make_protocol(protocol)
+        if self.protocol.needs_clean_discard:
+            # Survivor-preserving protocols require that discarding issued-
+            # but-uncompleted operations leaves memory untouched; an eagerly
+            # writing backend must capture undo data from now on.
+            runtime.backend.set_capture_undo(True)
 
     # ------------------------------------------------------------------
-    def _restore_all(self, version: CheckpointVersion) -> None:
-        """Roll every rank back to ``version`` (coordinated rollback).
+    @property
+    def store(self) -> CheckpointStore:
+        """The checkpoint store recovery restores from."""
+        if self.checkpointer is None:
+            raise RecoveryError(
+                "the fault-tolerance stack was uninstalled; this manager is detached"
+            )
+        return self.checkpointer.store
 
-        Windows *and* protocol state roll back together: survivors that
-        acquired locks or opened epochs after the checkpoint have that state
-        undone, so the re-executed program performs exactly the same
-        transitions as the first execution.
+    @property
+    def log(self) -> ActionLog | None:
+        """The put/get log, if the stack keeps one."""
+        if self.checkpointer is None:
+            raise RecoveryError(
+                "the fault-tolerance stack was uninstalled; this manager is detached"
+            )
+        return self.checkpointer.log
+
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryOutcome:
+        """Recover all currently failed ranks via the configured protocol.
+
+        Returns the protocol's :class:`~repro.ft.protocols.RecoveryOutcome`
+        (``outcome.tag`` is the restored checkpoint tag for rollback/replay
+        protocols).  Raises whatever the protocol raises — see
+        :meth:`~repro.ft.protocols.RecoveryProtocol.recover`.
         """
-        cluster = self.runtime.cluster
-        costs = cluster.costs
-        if version.epoch_states is not None:
-            self.runtime.epochs.restore(version.epoch_states)
-        if version.counter_states is not None:
-            self.runtime.counters.restore(version.counter_states)
-        for rank in range(cluster.nprocs):
-            payload = version.payload_for(rank)
-            if payload is None:  # pragma: no cover - guarded by latest_usable
-                raise CatastrophicFailure(f"no surviving copy for rank {rank}")
-            source, windows_data = payload
-            restored_bytes = 0
-            for name, data in windows_data.items():
-                self.runtime.windows.get(name).restore(rank, data)
-                restored_bytes += int(data.nbytes)
-            if source == "local":
-                cluster.advance(rank, costs.local_copy(restored_bytes), kind="protocol")
-            else:
-                # Pull from the buddy: network transfer, charged on both ends.
-                buddy = version.buddy_of[rank]
-                dt = costs.remote_transfer(restored_bytes)
-                cluster.advance(rank, dt, kind="protocol")
-                cluster.advance(buddy, dt, kind="protocol")
-            cluster.metrics.incr("ft.restored_bytes", restored_bytes, rank=rank)
+        if self.runtime is None:
+            raise RecoveryError(
+                "the fault-tolerance stack was uninstalled; this manager is detached"
+            )
+        return self.protocol.recover(self)
+
+    def detach(self) -> None:
+        """Drop the live runtime/checkpointer references (stack uninstalled).
+
+        A detached manager refuses further :meth:`recover` calls instead of
+        silently operating on a runtime the stack no longer observes.
+        Idempotent.
+        """
+        self.runtime = None
+        self.checkpointer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "detached" if self.runtime is None else "attached"
+        return f"RecoveryManager(protocol={self.protocol.name!r}, {state})"

@@ -1,10 +1,11 @@
 """Policy-driven construction of the fault-tolerance stack.
 
 Hand-wiring the ftRMA protocol takes four objects in the right order: an
-:class:`~repro.ft.checkpoint.ActionLog` interceptor, an
-:class:`~repro.ft.checkpoint.InMemoryCheckpointStore`, a
+:class:`~repro.ft.checkpoint.ActionLog` interceptor, a
+:class:`~repro.ft.stores.CheckpointStore` placement strategy, a
 :class:`~repro.ft.checkpoint.CoordinatedCheckpointer` registered *after* the
-log, and a :class:`~repro.ft.recovery.RecoveryManager` bound to both.
+log, and a :class:`~repro.ft.recovery.RecoveryManager` bound to both plus a
+:class:`~repro.ft.protocols.RecoveryProtocol` strategy.
 :func:`build_ft_stack` performs that wiring once, from plain keyword
 parameters, so higher layers (notably the declarative
 :class:`~repro.api.policy.FaultTolerancePolicy` of :mod:`repro.api`) can
@@ -16,12 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.ft.checkpoint import (
-    ActionLog,
-    CoordinatedCheckpointer,
-    InMemoryCheckpointStore,
-)
+from repro.ft.checkpoint import ActionLog, CoordinatedCheckpointer
+from repro.ft.protocols import RecoveryProtocol, make_protocol
 from repro.ft.recovery import RecoveryManager
+from repro.ft.stores import CheckpointStore, make_store
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.rma.runtime import RmaRuntime
@@ -39,15 +38,29 @@ class FtStack:
     recovery: RecoveryManager
 
     @property
-    def store(self) -> InMemoryCheckpointStore:
-        """The in-memory checkpoint store shared by checkpointer and recovery."""
+    def store(self) -> CheckpointStore:
+        """The checkpoint store shared by checkpointer and recovery."""
         return self.checkpointer.store
 
+    @property
+    def protocol(self) -> RecoveryProtocol:
+        """The recovery protocol strategy of this stack."""
+        return self.recovery.protocol
+
     def uninstall(self, runtime: "RmaRuntime") -> None:
-        """Remove the stack's interceptors from ``runtime``."""
+        """Fully detach the stack from ``runtime``.  Idempotent.
+
+        Removes the interceptors, closes the store (releasing scratch
+        directories and the like), drops undo capture from the backend and
+        detaches the recovery manager, so nothing in the stack keeps a live
+        reference into a runtime it no longer observes.
+        """
         if self.log is not None:
             runtime.remove_interceptor(self.log)
         runtime.remove_interceptor(self.checkpointer)
+        runtime.backend.set_capture_undo(False)
+        self.checkpointer.store.close()
+        self.recovery.detach()
 
 
 def build_ft_stack(
@@ -57,30 +70,50 @@ def build_ft_stack(
     demand_threshold_bytes: int | None = None,
     keep_versions: int = 2,
     log_actions: bool = True,
+    store: CheckpointStore | str | None = None,
+    recovery: RecoveryProtocol | str | None = None,
 ) -> FtStack:
     """Install the ftRMA protocol on ``runtime`` and return its pieces.
 
     Parameters
     ----------
     buddy_level:
-        FDH level across which checkpoint buddies are spread (§5).
+        FDH level across which checkpoint copies are spread (§5).
     demand_threshold_bytes:
         Per-rank logged volume that triggers a demand checkpoint (§6.2);
         ``None`` disables demand checkpoints.
     keep_versions:
-        How many committed checkpoint versions the store retains.
+        How many committed checkpoint versions the store retains (ignored
+        when a ready store instance is given — its own configuration wins).
     log_actions:
         Whether to install the put/get :class:`ActionLog`.  Forced on when
         ``demand_threshold_bytes`` is set (the threshold is measured on the
-        log).
+        log) or when the recovery protocol is the log-based
+        :class:`~repro.ft.protocols.LocalizedReplay` (the log is what it
+        replays).
+    store:
+        Checkpoint placement: ``"memory"`` (default; local + buddy copies),
+        ``"disk"`` (spill to a directory), ``"parity"`` (XOR stripe across
+        t-aware groups), or a ready
+        :class:`~repro.ft.stores.CheckpointStore` instance.
+    recovery:
+        Recovery strategy: ``"global"`` (default; coordinated rollback of
+        every rank), ``"localized"`` (restore only the failed ranks, replay
+        the log), ``"degraded"`` (excise failed ranks, continue
+        best-effort), or a ready
+        :class:`~repro.ft.protocols.RecoveryProtocol` instance.
     """
+    protocol = make_protocol(recovery)
     log: ActionLog | None = None
-    if log_actions or demand_threshold_bytes is not None:
-        log = ActionLog()
+    if log_actions or demand_threshold_bytes is not None or protocol.needs_log:
+        # Retaining completed actions (payloads included) is only needed by
+        # log-replaying protocols; everyone else keeps byte counts only, so
+        # the log's memory stays bounded between truncations.
+        log = ActionLog(retain_actions=protocol.needs_log)
         runtime.add_interceptor(log)
     checkpointer = CoordinatedCheckpointer(
         level=buddy_level,
-        store=InMemoryCheckpointStore(keep_versions=keep_versions),
+        store=make_store(store, keep_versions=keep_versions),
         log=log,
         demand_threshold_bytes=demand_threshold_bytes,
     )
@@ -88,5 +121,5 @@ def build_ft_stack(
     return FtStack(
         log=log,
         checkpointer=checkpointer,
-        recovery=RecoveryManager(runtime, checkpointer),
+        recovery=RecoveryManager(runtime, checkpointer, protocol),
     )

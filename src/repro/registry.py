@@ -1,0 +1,81 @@
+"""Shared component-registry resolution.
+
+Every pluggable seam of the library — RMA execution backends, checkpoint
+stores, recovery protocols — follows the same convention: a module-level
+``dict`` mapping short names to classes, and a keyword argument that accepts
+either such a name or a ready instance.  :func:`resolve_component` implements
+the lookup once so every seam produces the same error shape: an unknown name
+raises the *caller's* error class naming the bad value **and listing every
+registered choice** (never a bare ``KeyError``), and a value of the wrong
+type says what was expected.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["resolve_component"]
+
+
+def resolve_component(
+    kind: str,
+    spec: object,
+    registry: dict[str, type[T]],
+    base: type[T],
+    error: type[Exception],
+    *,
+    default: str | None = None,
+    dry_run: bool = False,
+    **kwargs: object,
+) -> T:
+    """Resolve ``spec`` into a fresh (or given) instance of ``base``.
+
+    Parameters
+    ----------
+    kind:
+        Human name of the seam ("backend", "checkpoint store", ...) used in
+        error messages.
+    spec:
+        ``None`` (use ``default``), a registered name, or an instance of
+        ``base`` passed through unchanged (so tests and instrumented runs can
+        inject custom implementations).
+    registry:
+        The seam's name → class registry.
+    base:
+        The protocol class instances must satisfy.
+    error:
+        Exception class raised on an unknown name or a wrong-typed value.
+    default:
+        Registry name substituted for ``spec=None``.
+    dry_run:
+        Validate only: an unknown name or wrong-typed value still raises,
+        but nothing is constructed and ``None`` is returned for names.  Used
+        by declarative policies to fail at declaration time without
+        instantiating anything.
+    kwargs:
+        Constructor arguments forwarded when a *name* is instantiated;
+        ignored for pass-through instances (their own configuration wins).
+    """
+    if spec is None:
+        if default is None:
+            raise error(f"a {kind} is required (none given and no default)")
+        spec = default
+    if isinstance(spec, base):
+        return spec
+    if isinstance(spec, str):
+        cls = registry.get(spec)
+        if cls is None:
+            known = ", ".join(repr(name) for name in sorted(registry))
+            raise error(
+                f"unknown {kind} {spec!r}; registered {kind}s are: {known} "
+                f"(or pass a {base.__name__} instance)"
+            )
+        if dry_run:
+            return None  # type: ignore[return-value]
+        return cls(**kwargs)  # type: ignore[call-arg]
+    raise error(
+        f"{kind} must be a registered name or a {base.__name__} instance, "
+        f"got {spec!r}"
+    )

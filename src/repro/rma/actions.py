@@ -207,6 +207,13 @@ class CommAction:
     #: Payload carried by the action: the data written (puts), or metadata of
     #: the data read (gets).  ``None`` for pure gets until completed.
     data: np.ndarray | None = None
+    #: The values the action was *issued* with.  For get-like atomics
+    #: (get_accumulate, fetch_and_op, compare_and_swap) completion overwrites
+    #: :attr:`data` with the fetched previous values; the operand is kept here
+    #: so a log-based replay (§7) can re-apply the action to a restored
+    #: window.  ``None`` until completion for pure puts (where ``data`` *is*
+    #: the operand) and always for pure gets.
+    operand: np.ndarray | None = None
     #: Compare value of a compare-and-swap.
     compare: np.ndarray | None = None
     #: Unique, monotonically increasing issue id (program order within a run).

@@ -139,6 +139,20 @@ class CounterBoard:
         """Whether ``rank`` currently holds any lock (checkpoint must wait)."""
         return self._counters[rank].lc > 0
 
+    def release_all_locks(self, rank: int) -> None:
+        """Drop every lock ``rank`` currently holds (crash-recovery release).
+
+        A step aborted by a failure can leave locks acquired mid-kernel
+        unreleased; recovery protocols that do not restore counter state
+        (localized replay, degraded continuation) release them explicitly so
+        the re-executed or continuing program can acquire them again.  The
+        historical ``sc_held`` stamps are kept — they record the ``so`` order
+        of accesses already performed.
+        """
+        counters = self._counters[rank]
+        counters.held_locks.clear()
+        counters.lc = 0
+
     # ------------------------------------------------------------------
     def reset_rank(self, rank: int) -> None:
         """Forget the counters of ``rank`` (replacement process).

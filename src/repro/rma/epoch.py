@@ -81,6 +81,17 @@ class EpochTracker:
         for rank in range(self.nprocs):
             self.close_all_epochs(rank)
 
+    def clear_pending(self, src: int | None = None) -> None:
+        """Zero the outstanding-operation counts of ``src`` (or every rank).
+
+        Used when issued-but-uncompleted operations are *discarded* by a
+        recovery rollback: the operations no longer exist, but the epochs they
+        were issued in stay open (no consistency action was performed).
+        """
+        ranks = range(self.nprocs) if src is None else (src,)
+        for rank in ranks:
+            self._states[rank].pending_ops.clear()
+
     def has_pending(self, src: int) -> bool:
         """Whether ``src`` has any outstanding operation in an open epoch."""
         return any(v > 0 for v in self._states[src].pending_ops.values())

@@ -64,6 +64,20 @@ class RmaInterceptor:
     def on_respawn(self, rank: int) -> None:
         """A replacement process for ``rank`` has been provided."""
 
+    # --- recovery lifecycle ---------------------------------------------------
+    def on_recovery_start(self, ranks: list[int], *, localized: bool) -> None:
+        """A recovery protocol is about to restore ``ranks``.
+
+        ``localized`` is ``True`` when only the failed ranks will be restored
+        and the survivors keep their state (log-based recovery, §7) — an
+        interceptor that keeps per-rank history (e.g. the put/get log) must
+        then *preserve* it across the respawn, because the log is exactly what
+        reconstructs the restored ranks' windows.
+        """
+
+    def on_recovery_complete(self, ranks: list[int]) -> None:
+        """The recovery protocol finished restoring ``ranks``."""
+
     # --- run lifecycle --------------------------------------------------------
     def on_finalize(self) -> None:
         """The application finished; flush statistics."""
@@ -119,6 +133,14 @@ class InterceptorChain:
     def on_respawn(self, rank: int) -> None:
         for i in self._interceptors:
             i.on_respawn(rank)
+
+    def on_recovery_start(self, ranks: list[int], *, localized: bool) -> None:
+        for i in self._interceptors:
+            i.on_recovery_start(ranks, localized=localized)
+
+    def on_recovery_complete(self, ranks: list[int]) -> None:
+        for i in self._interceptors:
+            i.on_recovery_complete(ranks)
 
     def on_finalize(self) -> None:
         for i in self._interceptors:

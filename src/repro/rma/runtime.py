@@ -56,6 +56,7 @@ from repro.rma.epoch import EpochTracker
 from repro.rma.handles import OpHandle
 from repro.rma.interceptor import InterceptorChain, RmaInterceptor
 from repro.rma.ordering import OrderRecorder
+from repro.rma.replay import ReplayCursor, replay_apply
 from repro.rma.window import Window, WindowRegistry
 from repro.simulator.cluster import Cluster
 
@@ -111,6 +112,12 @@ class RmaRuntime:
         self._known_failed: set[int] = set()
         #: Uncharged cost/metrics of outstanding nonblocking ops per (src, trg).
         self._accrued: dict[tuple[int, int], _Accrual] = {}
+        #: Active log-driven replay of a localized recovery (None = normal).
+        self._replay: ReplayCursor | None = None
+        #: Ranks permanently removed by a degraded continuation: they are
+        #: never respawned, their kernels are skipped, operations targeting
+        #: them are dropped and reads observe zeroed buffers.
+        self.excised: frozenset[int] = frozenset()
 
     @property
     def windows(self) -> WindowRegistry:
@@ -151,8 +158,13 @@ class RmaRuntime:
         return self.windows.get(name)
 
     def local(self, rank: int, window: str) -> np.ndarray:
-        """The local window buffer of ``rank`` (direct load/store access)."""
-        self.cluster.ensure_alive(rank)
+        """The local window buffer of ``rank`` (direct load/store access).
+
+        An excised rank's buffer stays readable (it was reallocated to zeros
+        when the rank was removed), so degraded jobs can still gather results.
+        """
+        if rank not in self.excised:
+            self.cluster.ensure_alive(rank)
         return self.windows.get(window).local(rank)
 
     def local_view(
@@ -165,7 +177,8 @@ class RmaRuntime:
         loads/stores need no runtime call at all.  ``count=None`` means "to
         the end of the window".
         """
-        self.cluster.ensure_alive(rank)
+        if rank not in self.excised:
+            self.cluster.ensure_alive(rank)
         win = self.windows.get(window)
         if count is None:
             count = win.size - offset
@@ -436,8 +449,16 @@ class RmaRuntime:
     # Compute and lifecycle
     # ------------------------------------------------------------------
     def compute(self, rank: int, flops: float) -> float:
-        """Charge ``flops`` of application compute on ``rank``'s clock."""
+        """Charge ``flops`` of application compute on ``rank``'s clock.
+
+        During a log-driven replay only the *restoring* ranks do real work
+        (their lost computation is re-executed); survivors merely re-derive
+        values they already hold, so their charge is suppressed — in a real
+        system they would be waiting for the recovering processes (§4.2).
+        """
         self.cluster.ensure_alive(rank)
+        if self._replay is not None and rank not in self._replay.restoring:
+            return self.cluster.now(rank)
         return self.cluster.advance(rank, self.cluster.costs.compute(flops))
 
     def finalize(self) -> None:
@@ -493,7 +514,64 @@ class RmaRuntime:
         for handle in discarded:
             handle._mark_discarded()
         self._accrued.clear()
+        self.epochs.clear_pending()
         return len(discarded)
+
+    # ------------------------------------------------------------------
+    # Log-driven replay (localized recovery, §7)
+    # ------------------------------------------------------------------
+    @property
+    def replaying(self) -> bool:
+        """Whether a localized recovery's replay is currently active."""
+        return self._replay is not None
+
+    def begin_replay(self, cursor: ReplayCursor) -> None:
+        """Enter replay mode: issued actions matching ``cursor`` are suppressed.
+
+        Installed by :class:`~repro.ft.protocols.LocalizedReplay` after it
+        restored the failed ranks; the deterministic re-execution then drains
+        the cursor and the runtime drops back to normal execution by itself.
+        """
+        if cursor.exhausted:
+            return
+        self._replay = cursor
+
+    def end_replay(self) -> ReplayCursor | None:
+        """Abort replay mode (a further failure interrupted it); return the cursor."""
+        cursor, self._replay = self._replay, None
+        return cursor
+
+    def replay_step_boundary(self) -> None:
+        """Advance the replay across a job-step boundary (session-driven).
+
+        Step boundaries are where the cursor's phases align with the original
+        execution: the survivors' crash-time windows are restored once the
+        fully-completed steps have drained, and replay mode ends when the
+        partial crash step has drained too.
+        """
+        if self._replay is None:
+            return
+        if self._replay.step_boundary(self):
+            self._replay = None
+            self.cluster.metrics.incr("ft.replays_completed")
+
+    # ------------------------------------------------------------------
+    # Degraded continuation (best-effort mode)
+    # ------------------------------------------------------------------
+    def excise_rank(self, rank: int) -> None:
+        """Permanently remove a failed rank from the job (best-effort mode).
+
+        The rank is *not* respawned: its window buffers are reallocated to
+        zeros so survivors' reads observe a defined value, operations
+        targeting it are silently dropped, and the scheduler skips its
+        kernels.  Used by :class:`~repro.ft.protocols.ContinueDegraded`.
+        """
+        if self.cluster.is_alive(rank):
+            raise ProcessFailedError(rank, f"rank {rank} is alive; cannot excise it")
+        self.backend.reallocate_rank(rank)
+        self.counters.release_all_locks(rank)
+        self.excised = self.excised | {rank}
+        self.cluster.metrics.incr("ft.excised_ranks", rank=rank)
 
     # ------------------------------------------------------------------
     # Internals
@@ -504,18 +582,25 @@ class RmaRuntime:
         A collective involves every rank, so a process that already failed —
         even one whose failure was observed earlier — makes it raise; this is
         how the paper's applications learn they must recover before
-        synchronizing again (§2.4).
+        synchronizing again (§2.4).  Excised ranks are no longer members of
+        the (shrunk) job and do not count.
         """
         self.observe_failures()
-        dead = self.cluster.failed_ranks()
+        dead = [r for r in self.cluster.failed_ranks() if r not in self.excised]
         if dead:
             raise ProcessFailedError(dead[0], f"{what} observed failed ranks {dead}")
 
     def _pre_action(self, src: int, trg: int) -> None:
-        """Failure check before any targeted action: src then trg must be alive."""
+        """Failure check before any targeted action: src then trg must be alive.
+
+        A target excised by a degraded continuation is exempt — operations
+        towards it are dropped later rather than raising, which is what lets
+        survivors keep running without recovery code.
+        """
         self.observe_failures(self.cluster.now(src))
         self.cluster.ensure_alive(src)
-        self.cluster.ensure_alive(trg)
+        if trg not in self.excised:
+            self.cluster.ensure_alive(trg)
 
     @staticmethod
     def _coerce_payload(data: np.ndarray, win: Window) -> np.ndarray:
@@ -570,7 +655,30 @@ class RmaRuntime:
         The action's network cost and metrics are *accrued*, not charged —
         they hit the origin's clock when the pair's queue completes, mirroring
         how the backend may defer execution itself.
+
+        Two special paths bypass the normal pipeline entirely (no
+        interceptors, no backend, no accrual — the action is not part of new
+        committed state):
+
+        * a target excised by a degraded continuation: the operation is
+          *dropped* — the handle completes immediately, get-like results
+          observe the excised rank's zeroed buffer (best-effort semantics);
+        * an active :class:`~repro.rma.replay.ReplayCursor` that matches the
+          action: the operation already happened before the crash — its
+          logged effect is re-applied only to restoring ranks' windows and
+          logged get data is served, so survivors are never touched twice.
         """
+        if action.trg in self.excised:
+            handle = OpHandle(action)
+            if action.kind.is_get_like:
+                action.data = np.zeros(action.count, dtype=win.dtype)
+            handle._mark_completed()
+            self.cluster.metrics.incr("ft.dropped_ops", rank=action.src)
+            return handle
+        if self._replay is not None:
+            logged = self._replay.consume(action)
+            if logged is not None:
+                return self._suppress_replayed(action, logged, win)
         self.interceptors.before_comm(action)
         handle = OpHandle(action)
         self.backend.issue(handle, win)
@@ -585,6 +693,23 @@ class RmaRuntime:
         accrual.kinds[action.kind.value] += 1
         self.epochs.record_access(action.src, action.trg)
         self.recorder.record(action)
+        return handle
+
+    def _suppress_replayed(
+        self, action: CommAction, logged: CommAction, win: Window
+    ) -> OpHandle:
+        """Complete a re-issued action from its logged twin instead of executing it."""
+        assert self._replay is not None
+        handle = OpHandle(action)
+        if action.kind.is_get_like and logged.data is not None:
+            action.data = np.array(logged.data, copy=True)
+        if action.is_put_like and logged.trg in self._replay.restoring:
+            nbytes = replay_apply(logged, win)
+            self.cluster.advance(
+                logged.trg, self.cluster.costs.local_copy(nbytes), kind="protocol"
+            )
+            self.cluster.metrics.incr("ft.replayed_bytes", nbytes, rank=logged.trg)
+        handle._mark_completed()
         return handle
 
     def _complete_pair(self, src: int, trg: int) -> None:

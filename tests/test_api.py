@@ -429,5 +429,6 @@ def test_low_level_api_still_importable_and_usable():
     cluster.fail_rank(1)
     with pytest.raises(ProcessFailedError):
         runtime.gsync()
-    assert recovery.recover() == 0
+    outcome = recovery.recover()
+    assert outcome.kind == "rollback" and outcome.tag == 0
     assert np.array_equal(runtime.local(0, "u"), np.full(8, 3.0))

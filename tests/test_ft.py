@@ -153,8 +153,8 @@ def test_recovery_restores_dead_rank_from_buddy_copy():
     runtime.cluster.fail_rank(5)
     with pytest.raises(ProcessFailedError):
         runtime.put(4, 5, "w", 0, [0.0])
-    tag = recovery.recover()
-    assert tag == "stable"
+    outcome = recovery.recover()
+    assert outcome.tag == "stable"
     # Coordinated rollback: every rank is back at the checkpoint.
     for rank in range(8):
         assert np.array_equal(window.local(rank), np.full(4, 10.0 + rank))

@@ -1,0 +1,285 @@
+"""Checkpoint store strategies: registry, memory/disk/parity placement, eviction."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    CatastrophicFailure,
+    CheckpointError,
+    PolicyError,
+    ProcessFailedError,
+)
+from repro.ft import (
+    CoordinatedCheckpointer,
+    DiskStore,
+    InMemoryCheckpointStore,
+    MemoryStore,
+    ParityStore,
+    build_ft_stack,
+    make_store,
+)
+from repro.rma import RmaRuntime
+from repro.simulator import Cluster
+
+
+def _runtime(nprocs=8, procs_per_node=2):
+    return RmaRuntime(Cluster.simple(nprocs, procs_per_node=procs_per_node))
+
+
+def _stack(runtime, **kwargs):
+    return build_ft_stack(runtime, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Registry resolution — unknown names fail loudly, listing the choices
+# ---------------------------------------------------------------------------
+
+
+def test_make_store_resolves_names_and_instances():
+    assert isinstance(make_store(None), MemoryStore)
+    assert isinstance(make_store("memory"), MemoryStore)
+    assert isinstance(make_store("disk"), DiskStore)
+    assert isinstance(make_store("parity"), ParityStore)
+    custom = MemoryStore(keep_versions=5)
+    assert make_store(custom) is custom
+    assert make_store(custom).keep_versions == 5  # instance config wins
+    assert make_store("memory", keep_versions=3).keep_versions == 3
+
+
+def test_make_store_unknown_name_lists_choices():
+    with pytest.raises(CheckpointError, match=r"'disk'.*'memory'.*'parity'"):
+        make_store("tape")
+    with pytest.raises(CheckpointError, match="tape"):
+        make_store("tape")
+
+
+def test_policy_rejects_unknown_store_and_recovery_listing_choices():
+    with pytest.raises(PolicyError, match=r"'disk'.*'memory'.*'parity'"):
+        repro.FaultTolerancePolicy(store="tape")
+    with pytest.raises(PolicyError, match=r"'degraded'.*'global'.*'localized'"):
+        repro.FaultTolerancePolicy(recovery="optimistic")
+    # Instances pass validation.
+    repro.FaultTolerancePolicy(store=MemoryStore(), recovery=repro.GlobalRollback())
+
+
+def test_launch_rejects_unknown_backend_listing_choices():
+    with pytest.raises(PolicyError, match=r"'sim'.*'vector'"):
+        repro.launch(4, backend="warp-drive")
+
+
+def test_legacy_store_name_still_works():
+    assert InMemoryCheckpointStore is MemoryStore
+    store = InMemoryCheckpointStore(keep_versions=1)
+    assert store.keep_versions == 1
+
+
+# ---------------------------------------------------------------------------
+# DiskStore — spill survives node loss (rank + buddy together)
+# ---------------------------------------------------------------------------
+
+
+def test_disk_store_round_trip_and_eviction(tmp_path):
+    runtime = _runtime()
+    store = DiskStore(keep_versions=2, directory=tmp_path / "ckpt")
+    stack = _stack(runtime, store=store)
+    runtime.win_allocate("w", 4)
+    for rank in range(8):
+        runtime.local(rank, "w")[:] = 10.0 + rank
+    for tag in range(3):
+        stack.checkpointer.checkpoint(tag=tag)
+    assert len(store) == 2 and [v.tag for v in store.versions] == [1, 2]
+    # Evicted version's files are gone; retained versions are loadable.
+    files = sorted(p.name for p in (tmp_path / "ckpt").iterdir())
+    assert files and all(name.startswith(("v1_", "v2_")) for name in files)
+    payload = store.fetch(store.latest(), 3)
+    assert payload.source == "disk"
+    assert np.array_equal(payload.windows["w"], np.full(4, 13.0))
+    # Disk copies hold no job memory.
+    assert store.nbytes() == 0
+
+
+def test_disk_store_survives_rank_and_buddy_loss():
+    # Losing a rank together with its buddy is the in-memory scheme's
+    # catastrophic case; the disk spill recovers it.
+    runtime = _runtime()
+    stack = _stack(runtime, store="disk")
+    recovery = stack.recovery
+    runtime.win_allocate("w", 4)
+    for rank in range(8):
+        runtime.local(rank, "w")[:] = 10.0 + rank
+    stack.checkpointer.checkpoint(tag=0)
+    runtime.cluster.fail_rank(0)
+    runtime.cluster.fail_rank(1)
+    runtime.observe_failures()
+    outcome = recovery.recover()
+    assert outcome.tag == 0
+    for rank in range(8):
+        assert np.array_equal(runtime.local(rank, "w"), np.full(4, 10.0 + rank))
+    stack.uninstall(runtime)
+
+
+def test_disk_store_close_removes_owned_scratch_directory():
+    runtime = _runtime()
+    stack = _stack(runtime, store="disk")
+    store = stack.store
+    runtime.win_allocate("w", 4)
+    stack.checkpointer.checkpoint(tag=0)
+    directory = store.directory
+    assert directory is not None and directory.exists()
+    stack.uninstall(runtime)  # closes the store
+    assert not directory.exists()
+    store.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# ParityStore — 1 + 1/k overhead, XOR reconstruction, group-loss limits
+# ---------------------------------------------------------------------------
+
+
+def test_parity_store_reconstructs_failed_rank_bit_exact():
+    runtime = _runtime()
+    stack = _stack(runtime, store="parity")
+    runtime.win_allocate("w", 16)
+    rng = np.random.default_rng(3)
+    expected = {}
+    for rank in range(8):
+        data = rng.normal(size=16)
+        runtime.local(rank, "w")[:] = data
+        expected[rank] = data.copy()
+    stack.checkpointer.checkpoint(tag=0)
+    victim = 2
+    runtime.cluster.fail_rank(victim)
+    runtime.observe_failures()  # drops the victim's local copy + its chunks
+    version = stack.store.latest()
+    assert victim not in version.local
+    payload = stack.store.fetch(version, victim)
+    assert payload.source == "parity" and payload.peers
+    assert np.array_equal(payload.windows["w"], expected[victim])
+    # Survivors still fetch locally.
+    assert stack.store.fetch(version, 0).source == "local"
+
+
+def test_parity_store_uses_less_memory_than_buddy_copies():
+    results = {}
+    for name in ("memory", "parity"):
+        runtime = _runtime()
+        stack = _stack(runtime, store=name, keep_versions=1)
+        runtime.win_allocate("w", 64)
+        stack.checkpointer.checkpoint(tag=0)
+        results[name] = stack.store.nbytes()
+    window_bytes = 8 * 64 * 8  # nprocs * elems * float64
+    assert results["memory"] == 2 * window_bytes
+    # Groups of 4 -> one quarter of a stripe per rank on top of the local copy.
+    assert results["parity"] == window_bytes + window_bytes // 4
+    assert results["parity"] < results["memory"]
+
+
+def test_parity_store_two_failures_in_one_group_are_unrecoverable():
+    runtime = _runtime()
+    stack = _stack(runtime, store="parity")
+    runtime.win_allocate("w", 4)
+    stack.checkpointer.checkpoint(tag=0)
+    store = stack.store
+    group = store.groups[0]
+    for victim in group[:2]:
+        runtime.cluster.fail_rank(victim)
+    runtime.observe_failures()
+    assert not store.available(store.latest(), group[0])
+    with pytest.raises(CatastrophicFailure):
+        stack.recovery.recover()
+
+
+def test_parity_store_needs_enough_groups():
+    # 2 ranks on 1 node: no t-aware grouping possible at node level.
+    runtime = RmaRuntime(Cluster.simple(2, procs_per_node=2))
+    checkpointer = CoordinatedCheckpointer(store="parity")
+    with pytest.raises(CheckpointError, match="memory"):
+        runtime.add_interceptor(checkpointer)
+
+
+# ---------------------------------------------------------------------------
+# Version eviction under demand checkpoints (keep_versions=1)
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_after_oldest_version_evicted_by_demand_checkpoint():
+    # keep_versions=1: every demand checkpoint evicts the previous version.
+    # Recovery must restore the *surviving* (newest) version, not the
+    # evicted one, and the log must have been truncated at its commit.
+    runtime = _runtime()
+    stack = _stack(runtime, keep_versions=1, demand_threshold_bytes=64)
+    runtime.win_allocate("w", 16)
+    stack.checkpointer.checkpoint(tag="initial")
+    for rank in range(8):
+        runtime.local(rank, "w")[:] = 1.0
+    for _ in range(2):  # 2 x 4 elems x 8 bytes = 64 bytes logged at rank 0
+        runtime.put(0, 1, "w", 0, np.full(4, 2.0))
+    version = stack.checkpointer.maybe_checkpoint(tag="demand")
+    assert version is not None and version.tag == "demand"
+    assert len(stack.store) == 1  # the initial version was evicted
+    assert stack.store.latest().tag == "demand"
+    assert stack.log.max_logged_bytes() == 0
+    runtime.cluster.fail_rank(5)
+    with pytest.raises(ProcessFailedError):
+        runtime.put(4, 5, "w", 0, [0.0])
+    outcome = stack.recovery.recover()
+    assert outcome.tag == "demand"
+    # The restored state is the demand checkpoint's, not the initial zeros.
+    state = np.array(runtime.local(5, "w"))
+    assert np.array_equal(state, np.full(16, 1.0))
+    assert np.array_equal(runtime.local(1, "w")[:4], np.full(4, 2.0))
+
+
+def test_memory_store_keep_versions_validation():
+    with pytest.raises(CheckpointError):
+        MemoryStore(keep_versions=0)
+
+
+def test_store_instance_cannot_be_reused_across_jobs():
+    # Same contract as Backend.bind: a store holds one job's checkpoints.
+    store = MemoryStore()
+    runtime = _runtime()
+    _stack(runtime, store=store)
+    other = _runtime()
+    with pytest.raises(CheckpointError, match="fresh instance"):
+        _stack(other, store=store)
+    # A policy carrying a store *instance* fails loudly on its second launch
+    # instead of leaking the first job's versions into the second.
+    policy = repro.FaultTolerancePolicy(interval=5, store=MemoryStore())
+    with repro.launch(4, ft=policy):
+        pass
+    with pytest.raises(CheckpointError, match="fresh instance"):
+        repro.launch(4, ft=policy)
+
+
+def test_closed_disk_store_refuses_rebinding():
+    runtime = _runtime()
+    store = DiskStore()
+    stack = _stack(runtime, store=store)
+    runtime.win_allocate("w", 4)
+    stack.checkpointer.checkpoint(tag=0)
+    stack.uninstall(runtime)  # closes the store, scratch dir removed
+    with pytest.raises(CheckpointError, match="closed"):
+        store.bind(_runtime())
+
+
+# ---------------------------------------------------------------------------
+# Stores are interchangeable under the session API
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("store", ["memory", "disk", "parity"])
+def test_session_recovers_with_every_store(store):
+    from heat_stencil_ft import run_stencil
+
+    baseline = run_stencil(nprocs=8, n_local=8, iters=20, ckpt_interval=5, store=store)
+    from repro.simulator import FailureSchedule
+
+    schedule = FailureSchedule.single_rank(3, baseline.elapsed * 0.5)
+    recovered = run_stencil(
+        nprocs=8, n_local=8, iters=20, ckpt_interval=5, store=store,
+        failure_schedule=schedule,
+    )
+    assert recovered.recoveries == 1
+    assert np.array_equal(baseline.field, recovered.field)
