@@ -1,20 +1,21 @@
-"""Fault-tolerant 1-D heat stencil, written against the ``repro.api`` session.
+"""Fault-tolerant 1-D heat stencil, driven through the workload catalog.
 
-An SPMD Jacobi iteration: each rank owns ``n_local`` interior cells of a 1-D
-rod in a window ``u`` with one ghost cell on each side.  Every step the
-kernel puts its boundary cells into its neighbours' ghost cells, suspends at
-a ``gsync`` (halo visibility), and updates its interior.
+The stencil itself — an SPMD Jacobi iteration whose kernel contains **no**
+fault-tolerance code at all — lives in the registry-resolved workload catalog
+as :class:`repro.study.workloads.HeatStencil` (``"stencil"``), where the
+resilience-study engine (``python -m repro.study``) can sweep it.  This
+example drives that catalog entry through the declarative session API and
+demonstrates the paper's transparency claim end to end:
 
-The kernel contains **no** fault-tolerance code at all.  The session declared
-by :class:`repro.FaultTolerancePolicy` takes coordinated in-memory
-checkpoints every ``ckpt_interval`` steps (or on demand when the put/get log
-grows past a threshold), and when a fail-stop failure is observed mid-run it
-respawns the dead ranks, restores every window from the surviving buddy
-copies and resumes the step loop from the checkpointed step — transparently.
-
-Because the cooperative schedule is deterministic, the recovered run finishes
-with a final temperature field **bit-identical** to a failure-free run —
-which ``main()`` demonstrates under an exponential failure schedule.
+* a run recovering injected fail-stop failures finishes with a final
+  temperature field **bit-identical** to a failure-free run (global rollback,
+  demand checkpoints, every backend, every checkpoint store);
+* localized (log-based) recovery matches the global rollback bit for bit
+  while restoring only the failed ranks;
+* ``interval="auto"`` resolves the checkpoint interval through the analytic
+  Young/Daly model instead of a hand-picked constant;
+* a degraded continuation survives without bit-identity (availability over
+  precision).
 
 Run with::
 
@@ -29,8 +30,7 @@ import numpy as np
 
 import repro
 from repro.simulator import FailureSchedule, exponential_schedule
-
-ALPHA = 0.1  # diffusion coefficient of the explicit update
+from repro.study.workloads import HeatStencil
 
 
 @dataclass
@@ -42,6 +42,7 @@ class StencilResult:
     recoveries: int
     checkpoints: int
     elapsed: float
+    resolved_interval: int | None = None
 
     def describe(self) -> str:
         return (
@@ -51,44 +52,12 @@ class StencilResult:
         )
 
 
-def _initial_field(nprocs: int, n_local: int) -> np.ndarray:
-    """Deterministic initial temperature: a sine profile plus a hot spot."""
-    n_global = nprocs * n_local
-    x = np.arange(n_global, dtype=np.float64)
-    field = np.sin(2.0 * np.pi * x / n_global)
-    field[n_global // 3] += 2.0
-    return field
-
-
-def make_stencil_kernel(n_local: int):
-    """One Jacobi step from a single rank's point of view."""
-
-    def kernel(ctx: repro.RankContext, step: int):
-        u = ctx.win("u")
-        mine = u.local
-        # Halo exchange: nonblocking puts of the boundary cells into the
-        # neighbours' ghost cells; the gsync below completes them (a batching
-        # backend is free to coalesce them until then).
-        if ctx.rank > 0:
-            u.put_nb(ctx.rank - 1, n_local + 1, mine[1:2])
-        if ctx.rank < ctx.nranks - 1:
-            u.put_nb(ctx.rank + 1, 0, mine[n_local : n_local + 1])
-        yield ctx.gsync()  # halos are visible from here on
-        interior = mine[1 : n_local + 1]
-        mine[1 : n_local + 1] = interior + ALPHA * (
-            mine[0:n_local] - 2.0 * interior + mine[2 : n_local + 2]
-        )
-        ctx.compute(4.0 * n_local)
-
-    return kernel
-
-
 def run_stencil(
     *,
     nprocs: int = 8,
     n_local: int = 32,
     iters: int = 60,
-    ckpt_interval: int = 10,
+    ckpt_interval: int | str | None = 10,
     procs_per_node: int = 2,
     failure_schedule: FailureSchedule | None = None,
     demand_threshold_bytes: int | None = None,
@@ -96,37 +65,31 @@ def run_stencil(
     backend: str = "sim",
     store: str = "memory",
     recovery: str = "global",
+    failure_rates: dict[int, float] | None = None,
 ) -> StencilResult:
-    """Run the stencil to completion; the session recovers injected failures."""
+    """Run the catalog stencil to completion; the session recovers failures."""
+    workload = HeatStencil(nprocs=nprocs, n_local=n_local, iters=iters)
     policy = repro.FaultTolerancePolicy(
         interval=ckpt_interval,
         demand_threshold_bytes=demand_threshold_bytes,
         buddy_level=buddy_level,
         store=store,
         recovery=recovery,
+        failure_rates=failure_rates,
     )
-    with repro.launch(
-        nprocs,
-        topology=repro.Topology(procs_per_node=procs_per_node),
+    run = workload.run(
         ft=policy,
         failures=failure_schedule,
-        sync_each_step=False,  # the kernel's mid-step gsync is the only sync
         backend=backend,
-    ) as job:
-        job.allocate("u", n_local + 2)
-        initial = _initial_field(nprocs, n_local)
-        for ctx in job.contexts:
-            ctx.local("u")[1 : n_local + 1] = initial[
-                ctx.rank * n_local : (ctx.rank + 1) * n_local
-            ]
-        report = job.run(make_stencil_kernel(n_local), steps=iters)
-        field = job.gather("u", part=slice(1, n_local + 1))
+        procs_per_node=procs_per_node,
+    )
     return StencilResult(
-        field=field,
-        iterations_executed=report.steps_executed,
-        recoveries=report.recoveries,
-        checkpoints=report.checkpoints,
-        elapsed=report.elapsed,
+        field=run.result,
+        iterations_executed=run.report.steps_executed,
+        recoveries=run.report.recoveries,
+        checkpoints=run.report.checkpoints,
+        elapsed=run.report.elapsed,
+        resolved_interval=run.resolved_interval,
     )
 
 
@@ -165,6 +128,20 @@ def main() -> None:
     )
     print(f"demand-ckpt run  : {demand.describe()}")
     assert np.array_equal(baseline.field, demand.field)
+
+    # interval="auto": the session resolves the periodic interval through the
+    # analytic Young/Daly model from the declared failure rates, the store's
+    # checkpoint cost and the measured step cost — and still recovers
+    # bit-identically.
+    auto = run_stencil(
+        nprocs=nprocs, n_local=n_local, iters=iters,
+        ckpt_interval="auto",
+        failure_rates={1: 2.0 / baseline.elapsed},
+        failure_schedule=schedule,
+    )
+    print(f"auto-interval run: {auto.describe()} (resolved interval: {auto.resolved_interval})")
+    assert auto.resolved_interval is not None
+    assert np.array_equal(baseline.field, auto.field)
 
     # The vector backend batches the nonblocking halo puts and applies them as
     # coalesced writes at the gsync — with and without failures the final

@@ -1,15 +1,13 @@
-"""Fault-tolerant random-access key-value updates on the ``repro.api`` session.
+"""Fault-tolerant random-access key-value updates, via the workload catalog.
 
-A GUPS-style workload: a global table of ``nranks * SLOTS`` float slots is
-block-distributed over the ranks in a window ``table``.  Each step every rank
-draws a deterministic pseudo-random batch of ``(key, delta)`` updates —
-seeded purely by ``(seed, step, rank)``, so a replayed step draws exactly the
-same batch — and applies each with a lock-protected atomic
-``fetch_and_op(SUM)`` on the owner rank.  This exercises the Locks scheme:
-lock/unlock drive the SC counter and the checkpoint guard (no checkpoint
-while a lock is held), and the put/get log drives *demand* checkpoints
-(``interval=None``: besides the initial one, checkpoints happen only when the
-logged volume passes the threshold, §6.2).
+The GUPS-style workload — lock-protected atomic ``fetch_and_op(SUM)`` updates
+drawn from deterministic per-``(seed, step, rank)`` batches — lives in the
+registry-resolved catalog as :class:`repro.study.workloads.KvUpdate`
+(``"kv"``), where the resilience-study engine can sweep it.  It exercises the
+Locks scheme: lock/unlock drive the SC counter and the checkpoint guard (no
+checkpoint while a lock is held), and the put/get log drives *demand*
+checkpoints (``interval=None``: besides the initial one, checkpoints happen
+only when the logged volume passes the threshold, §6.2).
 
 No recovery logic appears below: the session rolls the table back to the last
 committed checkpoint and replays, and because the batches are pure functions
@@ -29,9 +27,18 @@ import numpy as np
 
 import repro
 from repro.simulator import FailureSchedule
+from repro.study.workloads import KvUpdate
 
 SLOTS = 24  # table slots owned by each rank
 UPDATES_PER_STEP = 8  # updates drawn by each rank per step
+
+
+def expected_table(seed: int, nprocs: int, steps: int) -> np.ndarray:
+    """Replay every batch locally, in the scheduler's (step, rank) order."""
+    return KvUpdate(
+        nprocs=nprocs, slots=SLOTS, updates_per_step=UPDATES_PER_STEP,
+        steps=steps, seed=seed,
+    ).expected()
 
 
 @dataclass
@@ -54,40 +61,6 @@ class KvResult:
         )
 
 
-def _batch(seed: int, step: int, rank: int, nranks: int) -> tuple[np.ndarray, np.ndarray]:
-    """The update batch of ``rank`` at ``step``: pure function of its inputs."""
-    rng = np.random.default_rng((seed, step, rank))
-    keys = rng.integers(0, nranks * SLOTS, size=UPDATES_PER_STEP)
-    deltas = rng.integers(1, 10, size=UPDATES_PER_STEP).astype(np.float64)
-    return keys, deltas
-
-
-def make_kv_kernel(seed: int):
-    """One batch of lock-protected atomic updates from one rank."""
-
-    def kernel(ctx: repro.RankContext, step: int) -> None:
-        keys, deltas = _batch(seed, step, ctx.rank, ctx.nranks)
-        for key, delta in zip(keys, deltas):
-            owner, offset = divmod(int(key), SLOTS)
-            ctx.lock(owner)
-            ctx.fetch_and_op(owner, "table", offset, float(delta))
-            ctx.unlock(owner)
-        ctx.compute(10.0 * UPDATES_PER_STEP)
-
-    return kernel
-
-
-def expected_table(seed: int, nprocs: int, steps: int) -> np.ndarray:
-    """Replay every batch locally, in the scheduler's (step, rank) order."""
-    table = np.zeros(nprocs * SLOTS, dtype=np.float64)
-    for step in range(steps):
-        for rank in range(nprocs):
-            keys, deltas = _batch(seed, step, rank, nprocs)
-            for key, delta in zip(keys, deltas):
-                table[int(key)] += delta
-    return table
-
-
 def run_kv(
     *,
     nprocs: int = 8,
@@ -100,30 +73,30 @@ def run_kv(
     store: str = "memory",
     recovery: str = "global",
 ) -> KvResult:
-    """Run the workload; the session recovers injected failures on demand."""
+    """Run the catalog workload; the session recovers injected failures on demand."""
+    workload = KvUpdate(
+        nprocs=nprocs, slots=SLOTS, updates_per_step=UPDATES_PER_STEP,
+        steps=steps, seed=seed,
+    )
     policy = repro.FaultTolerancePolicy(
         interval=None,  # demand checkpoints only (plus the initial one)
         demand_threshold_bytes=demand_threshold_bytes,
         store=store,
         recovery=recovery,
     )
-    with repro.launch(
-        nprocs,
-        topology=repro.Topology(procs_per_node=procs_per_node),
+    run = workload.run(
         ft=policy,
         failures=failure_schedule,
         backend=backend,
-    ) as job:
-        job.allocate("table", SLOTS)
-        report = job.run(make_kv_kernel(seed), steps=steps)
-        table = job.gather("table")
+        procs_per_node=procs_per_node,
+    )
     return KvResult(
-        table=table,
-        steps_executed=report.steps_executed,
-        recoveries=report.recoveries,
-        checkpoints=report.checkpoints,
-        demand_checkpoints=report.demand_checkpoints,
-        elapsed=report.elapsed,
+        table=run.result,
+        steps_executed=run.report.steps_executed,
+        recoveries=run.report.recoveries,
+        checkpoints=run.report.checkpoints,
+        demand_checkpoints=run.report.demand_checkpoints,
+        elapsed=run.report.elapsed,
     )
 
 

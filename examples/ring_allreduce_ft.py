@@ -1,22 +1,15 @@
-"""Fault-tolerant ring allreduce on the ``repro.api`` session.
+"""Fault-tolerant ring allreduce, driven through the workload catalog.
 
-Every rank holds a full vector of ``nranks * chunk`` elements in a window
-``vec``; the job computes the element-wise sum over all ranks' vectors with
-the classic two-phase ring algorithm, one ring hop per job step:
-
-* **reduce-scatter** (steps ``0 .. P-2``): at step ``t`` rank ``r``
-  *accumulates* its chunk ``(r - t) mod P`` into its right neighbour, so each
-  chunk travels the ring gathering contributions; after ``P-1`` steps rank
-  ``r`` owns the fully-reduced chunk ``(r + 1) mod P``;
-* **allgather** (steps ``P-1 .. 2P-3``): reduced chunks travel the ring once
-  more, now with plain *puts*, until every rank holds the complete sum.
-
-Each step touches pairwise-disjoint chunks, so the kernel is a plain function
-(no mid-step collective); the session's implicit end-of-step ``gsync``
-separates the hops.  All cross-step state lives in the window, which is
-exactly what the session checkpoints — so an injected fail-stop failure rolls
-the ring back a few hops and replays them, finishing **bit-identical** to the
-failure-free run, with zero recovery logic in this file.
+The algorithm — a classic two-phase ring allreduce whose reduce-scatter hops
+*accumulate* chunks into the right neighbour (exactly the combining
+operations the paper's ``M`` flag guards against double-applying, §3.2.3) —
+lives in the registry-resolved workload catalog as
+:class:`repro.study.workloads.RingAllreduce` (``"allreduce"``), where the
+resilience-study engine can sweep it.  This example drives that entry and
+asserts the transparency claims: injected fail-stop failures roll the ring
+back a few hops and replay them, finishing **bit-identical** to the
+failure-free run on every backend, under both global rollback and localized
+log-based replay — with zero recovery logic in this file.
 
 Run with::
 
@@ -31,8 +24,14 @@ import numpy as np
 
 import repro
 from repro.simulator import FailureSchedule
+from repro.study.workloads import RingAllreduce
 
 CHUNK = 16  # elements per ring chunk
+
+
+def _initial_vector(rank: int, nranks: int) -> np.ndarray:
+    """Deterministic per-rank input vector (catalog-defined)."""
+    return RingAllreduce(nprocs=nranks, chunk=CHUNK).initial_vector(rank)
 
 
 @dataclass
@@ -53,67 +52,33 @@ class AllreduceResult:
         )
 
 
-def _initial_vector(rank: int, nranks: int) -> np.ndarray:
-    """Deterministic per-rank input vector."""
-    n = nranks * CHUNK
-    x = np.arange(n, dtype=np.float64)
-    return np.sin(x * (rank + 1)) + rank
-
-
-def ring_allreduce_kernel(ctx: repro.RankContext, step: int) -> None:
-    """One ring hop: send one chunk to the right neighbour.
-
-    Both hops issue *nonblocking* operations; the session's implicit
-    end-of-step ``gsync`` completes them, so a batching backend holds them
-    queued (and coalesces the puts) until the hop boundary.
-    """
-    vec = ctx.win("vec")
-    nranks = ctx.nranks
-    right = (ctx.rank + 1) % nranks
-    if step < nranks - 1:
-        # Reduce-scatter hop: combine my partial chunk into the neighbour's.
-        c = (ctx.rank - step) % nranks
-        vec.accumulate_nb(right, c * CHUNK, vec.local[c * CHUNK : (c + 1) * CHUNK])
-    else:
-        # Allgather hop: forward the already-reduced chunk.
-        t = step - (nranks - 1)
-        c = (ctx.rank + 1 - t) % nranks
-        vec.put_nb(right, c * CHUNK, vec.local[c * CHUNK : (c + 1) * CHUNK])
-    ctx.compute(2.0 * CHUNK)
-
-
 def run_allreduce(
     *,
     nprocs: int = 8,
-    ckpt_interval: int = 4,
+    ckpt_interval: int | str | None = 4,
     procs_per_node: int = 2,
     failure_schedule: FailureSchedule | None = None,
     backend: str = "sim",
     store: str = "memory",
     recovery: str = "global",
 ) -> AllreduceResult:
-    """Run the full allreduce; the session recovers injected failures."""
+    """Run the catalog allreduce; the session recovers injected failures."""
+    workload = RingAllreduce(nprocs=nprocs, chunk=CHUNK)
     policy = repro.FaultTolerancePolicy(
         interval=ckpt_interval, store=store, recovery=recovery
     )
-    with repro.launch(
-        nprocs,
-        topology=repro.Topology(procs_per_node=procs_per_node),
+    run = workload.run(
         ft=policy,
         failures=failure_schedule,
         backend=backend,
-    ) as job:
-        job.allocate("vec", nprocs * CHUNK)
-        for ctx in job.contexts:
-            ctx.local("vec")[:] = _initial_vector(ctx.rank, nprocs)
-        report = job.run(ring_allreduce_kernel, steps=2 * nprocs - 2)
-        vectors = np.stack([job.local(r, "vec").copy() for r in range(nprocs)])
+        procs_per_node=procs_per_node,
+    )
     return AllreduceResult(
-        vectors=vectors,
-        steps_executed=report.steps_executed,
-        recoveries=report.recoveries,
-        checkpoints=report.checkpoints,
-        elapsed=report.elapsed,
+        vectors=run.result,
+        steps_executed=run.report.steps_executed,
+        recoveries=run.report.recoveries,
+        checkpoints=run.report.checkpoints,
+        elapsed=run.report.elapsed,
     )
 
 
@@ -123,9 +88,7 @@ def main() -> None:
     baseline = run_allreduce(nprocs=nprocs)
     print(f"failure-free run : {baseline.describe()}")
 
-    expected = np.sum(
-        [_initial_vector(r, nprocs) for r in range(nprocs)], axis=0
-    )
+    expected = RingAllreduce(nprocs=nprocs, chunk=CHUNK).expected()
     assert np.allclose(baseline.vectors, expected[None, :])
     # Every rank ends with the same reduced vector, bit-for-bit.
     assert all(np.array_equal(baseline.vectors[0], v) for v in baseline.vectors)

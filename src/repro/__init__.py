@@ -13,7 +13,11 @@ The package is layered bottom-up:
   (topology-aware in-memory checkpointing and recovery);
 * :mod:`repro.api` — the rank-centric session API: :func:`launch` a job,
   write kernels against per-rank :class:`~repro.api.context.RankContext`
-  objects, and let the session checkpoint and recover transparently.
+  objects, and let the session checkpoint and recover transparently;
+* :mod:`repro.study` — the resilience-study engine on top of everything:
+  a registry-resolved workload catalog, the analytic Young/Daly interval
+  model behind ``FaultTolerancePolicy(interval="auto")``, and the seeded
+  Monte-Carlo campaign runner (``python -m repro.study``).
 
 Applications should program against :mod:`repro.api` (re-exported here);
 the lower layers remain public for protocol work and instrumentation.
@@ -41,9 +45,25 @@ from repro.ft import (
     ParityStore,
     RecoveryProtocol,
 )
+from repro.registry import available
 from repro.rma.handles import OpHandle
+from repro.study import (
+    CampaignSpec,
+    IntervalModel,
+    Workload,
+    WorkloadRun,
+    make_workload,
+    run_campaign,
+)
 
 __all__ = [
+    "available",
+    "CampaignSpec",
+    "IntervalModel",
+    "Workload",
+    "WorkloadRun",
+    "make_workload",
+    "run_campaign",
     "Collective",
     "FaultTolerancePolicy",
     "Job",
@@ -69,4 +89,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"

@@ -16,6 +16,7 @@ never sees the underlying objects.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -76,7 +77,19 @@ class FaultTolerancePolicy:
     interval:
         Take a coordinated checkpoint every ``interval`` job steps (§3.1).
         ``None`` disables periodic checkpoints; the session still takes one
-        initial checkpoint so recovery is always possible.
+        initial checkpoint so recovery is always possible.  The string
+        ``"auto"`` asks the session to resolve the interval through the
+        analytic Young/Daly model (:class:`repro.study.model.IntervalModel`)
+        from the topology's cost model, the declared store, the job's window
+        footprint, the measured per-step cost and :attr:`failure_rates`; the
+        resolution is exposed as :attr:`repro.api.session.Job.resolved_interval`.
+    failure_rates:
+        Per-FDH-level exponential failure rates ``{level: failures/second}``
+        feeding the ``interval="auto"`` resolution (§7.1).  ``None`` falls
+        back to estimating an aggregate rate from the session's injected
+        :class:`~repro.simulator.failures.FailureSchedule` (zero on a
+        failure-free schedule — "auto" then takes no periodic checkpoints).
+        Ignored for numeric intervals.
     demand_threshold_bytes:
         Per-rank put/get-log volume that triggers a demand checkpoint (§6.2);
         ``None`` disables demand checkpoints.
@@ -102,17 +115,30 @@ class FaultTolerancePolicy:
         ready :class:`~repro.ft.protocols.RecoveryProtocol` instance.
     """
 
-    interval: int | None = 10
+    interval: int | str | None = 10
     demand_threshold_bytes: int | None = None
     buddy_level: int = 1
     keep_versions: int = 2
     log_actions: bool = True
     store: "CheckpointStore | str" = "memory"
     recovery: "RecoveryProtocol | str" = "global"
+    failure_rates: Mapping[int, float] | None = None
 
     def __post_init__(self) -> None:
-        if self.interval is not None and self.interval < 1:
+        if isinstance(self.interval, str):
+            if self.interval != "auto":
+                raise PolicyError(
+                    f"interval must be a positive int, None, or 'auto'; "
+                    f"got {self.interval!r}"
+                )
+        elif self.interval is not None and self.interval < 1:
             raise PolicyError("checkpoint interval must be at least 1 step")
+        if self.failure_rates is not None:
+            for level, rate in self.failure_rates.items():
+                if rate < 0:
+                    raise PolicyError(
+                        f"failure rate for level {level} must be non-negative"
+                    )
         if self.demand_threshold_bytes is not None and self.demand_threshold_bytes < 1:
             raise PolicyError("demand_threshold_bytes must be positive")
         if self.buddy_level < 1:

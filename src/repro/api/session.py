@@ -116,6 +116,14 @@ class Job:
         self.scheduler = CooperativeScheduler(self.runtime, self.contexts)
         self.sync_each_step = sync_each_step
         self.ft: FtStack | None = ft.install(self.runtime) if ft is not None else None
+        # interval="auto" resolves through the analytic Young/Daly model once
+        # the first step's cost has been measured (see _resolve_auto_interval);
+        # a numeric/None interval is in effect immediately.
+        self._auto_interval = ft is not None and ft.interval == "auto"
+        self._auto_pending = False
+        self._interval: int | None = (
+            ft.interval if ft is not None and not self._auto_interval else None  # type: ignore[assignment]
+        )
         self._have_checkpoint = False
         self._steps_executed = 0
         self._closed = False
@@ -213,11 +221,22 @@ class Job:
         # Open the phase with a fresh checkpoint: rollback targets must not
         # predate start_step, or they would be replayed with this kernel.
         self._have_checkpoint = False
+        # An "auto" interval is re-resolved per run(): the per-step cost is a
+        # property of this phase's kernel, which the previous phase cannot
+        # know.  Until resolution the phase runs on its initial checkpoint.
+        self._auto_pending = self._auto_interval
+        if self._auto_interval:
+            self._interval = None
         end = start_step + steps
         step = start_step
         while step < end:
             try:
                 self._checkpoint_hook(step)
+                # Measure the first completed ordinary step (checkpoint cost
+                # excluded, replayed steps skipped — their suppressed actions
+                # are cheaper than real ones) to feed the analytic model.
+                measuring = self._auto_pending and not self.runtime.replaying
+                step_began = self.cluster.elapsed() if measuring else 0.0
                 self.scheduler.run_step(kernel, step)
                 # Boundary bookkeeping runs twice: once when the kernels have
                 # finished (their local stores are in), and once more after
@@ -231,6 +250,10 @@ class Job:
                     self._step_boundary_hook()
                 step += 1
                 self._steps_executed += 1
+                if measuring and not self.runtime.replaying:
+                    self._resolve_auto_interval(
+                        self.cluster.elapsed() - step_began, max_steps=steps
+                    )
             except ProcessFailedError:
                 if self.ft is None:
                     raise
@@ -251,6 +274,68 @@ class Job:
             elapsed=self.cluster.elapsed(),
             metrics=metrics.snapshot(),
         )
+
+    @property
+    def resolved_interval(self) -> int | None:
+        """The periodic checkpoint interval currently in effect.
+
+        For a numeric policy this is the declared value; for
+        ``interval="auto"`` it is the analytic-model resolution (``None``
+        until the first step of a run has been measured, and ``None``
+        permanently on a failure-free machine — no periodic checkpoints).
+        """
+        return self._interval
+
+    # ------------------------------------------------------------------
+    def _resolve_auto_interval(self, step_seconds: float, *, max_steps: int) -> None:
+        """Resolve ``interval="auto"`` through the analytic Young/Daly model.
+
+        Inputs, per the paper's §5–§7 methodology: the per-checkpoint cost
+        ``C`` derived from the topology's cost model, the declared store and
+        the job's measured window footprint; the MTBF from the policy's
+        per-level failure rates (or, absent those, an aggregate rate
+        estimated from the injected failure schedule); and the measured cost
+        of the step just executed.
+        """
+        from repro.study.model import IntervalModel
+
+        assert self.ft is not None and self.policy is not None
+        self._auto_pending = False
+        rates = self.policy.failure_rates
+        if rates is None:
+            rates = self._estimated_failure_rates()
+        bytes_per_rank = sum(w.nbytes_per_rank for w in self.runtime.windows.all())
+        if step_seconds <= 0.0:
+            # A step that charged nothing (empty kernel): fall back to the
+            # smallest meaningful unit of work, one synchronization.
+            step_seconds = self.cluster.costs.barrier(self.nranks)
+        model = IntervalModel(
+            cost_model=self.cluster.costs,
+            nprocs=self.nranks,
+            bytes_per_rank=bytes_per_rank,
+            store=self.ft.store.name,
+            rates_per_level=dict(rates),
+        )
+        self._interval = model.optimal_interval_steps(step_seconds, max_steps=max_steps)
+        self.cluster.metrics.set_max(
+            "study.auto_interval_steps",
+            float(self._interval) if self._interval is not None else 0.0,
+        )
+
+    def _estimated_failure_rates(self) -> dict[int, float]:
+        """Aggregate failure rate estimated from the injected schedule.
+
+        The event count over the schedule's own horizon — crude, but the
+        right fallback when no fitted per-level rates were declared.  A
+        failure-free schedule estimates rate zero (infinite MTBF).
+        """
+        events = self.cluster.injector.schedule.events
+        if not events:
+            return {}
+        horizon = max(event.time for event in events)
+        if horizon <= 0.0:
+            return {}
+        return {0: len(events) / horizon}
 
     # ------------------------------------------------------------------
     def _checkpoint_hook(self, step: int) -> None:
@@ -278,7 +363,7 @@ class Job:
             )
         policy = self.policy
         assert policy is not None
-        interval_due = policy.interval is not None and step % policy.interval == 0
+        interval_due = self._interval is not None and step % self._interval == 0
         if interval_due or not self._have_checkpoint:
             self.ft.checkpointer.checkpoint(tag=step)
             self._have_checkpoint = True
@@ -297,6 +382,14 @@ class Job:
             return
         if self.runtime.replaying:
             self.runtime.replay_step_boundary()
+            # The boundary that *ends* a replay completes the crash-aborted
+            # step — a boundary the original execution never got to mark.
+            # Record it now: without the mark, a later localized recovery
+            # would fold this step's actions into the partial phase of its
+            # cursor, restore the survivor snapshot one boundary too early
+            # and re-apply survivor-local work twice.
+            if not self.runtime.replaying and self.ft.log is not None:
+                self.ft.log.mark_step()
         elif self.ft.log is not None:
             self.ft.log.mark_step()
 

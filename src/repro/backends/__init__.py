@@ -20,7 +20,7 @@ from repro.backends.base import Backend, apply_action
 from repro.backends.sim import SimBackend
 from repro.backends.vector import VectorBackend
 from repro.errors import BackendError
-from repro.registry import resolve_component
+from repro.registry import register_kind, resolve_component
 
 __all__ = ["Backend", "SimBackend", "VectorBackend", "BACKENDS", "make_backend", "apply_action"]
 
@@ -29,6 +29,7 @@ BACKENDS: dict[str, type[Backend]] = {
     SimBackend.name: SimBackend,
     VectorBackend.name: VectorBackend,
 }
+register_kind("backend", BACKENDS)
 
 
 def make_backend(spec: "str | Backend | None") -> Backend:

@@ -152,3 +152,20 @@ class ReliabilityModelError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark harness was configured inconsistently."""
+
+
+# ---------------------------------------------------------------------------
+# Resilience-study errors
+# ---------------------------------------------------------------------------
+
+
+class StudyError(ReproError):
+    """Misuse of the resilience-study subsystem (:mod:`repro.study`).
+
+    Raised for unknown workload names, invalid workload parameters, and
+    inconsistent analytic-model inputs (non-positive costs or rates).
+    """
+
+
+class CampaignError(StudyError):
+    """A Monte-Carlo campaign specification is inconsistent or empty."""

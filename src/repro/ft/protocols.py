@@ -41,7 +41,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import CatastrophicFailure, RecoveryError
 from repro.ft.stores import CheckpointStore, CheckpointVersion, RestorePayload
-from repro.registry import resolve_component
+from repro.registry import register_kind, resolve_component
 from repro.rma.replay import ReplayCursor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
@@ -372,6 +372,7 @@ PROTOCOLS: dict[str, type[RecoveryProtocol]] = {
     LocalizedReplay.name: LocalizedReplay,
     ContinueDegraded.name: ContinueDegraded,
 }
+register_kind("recovery", PROTOCOLS)
 
 
 def make_protocol(
@@ -386,6 +387,6 @@ def make_protocol(
     registered choices); a :class:`RecoveryProtocol` instance passes through.
     """
     return resolve_component(
-        "recovery protocol", spec, PROTOCOLS, RecoveryProtocol, error,
+        "recovery", spec, PROTOCOLS, RecoveryProtocol, error,
         default=GlobalRollback.name,
     )

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.errors import CheckpointError
 from repro.ft.groups import buddy_assignment, t_aware_groups
-from repro.registry import resolve_component
+from repro.registry import register_kind, resolve_component
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.rma.runtime import RmaRuntime
@@ -396,8 +396,7 @@ class DiskStore(CheckpointStore):
             return None
         windows = {name: np.load(path) for name, path in files.items()}
         nbytes = sum(int(data.nbytes) for data in windows.values())
-        # Reads are modelled like writes: shared-bandwidth PFS access.
-        seconds = self.runtime.cluster.costs.pfs_write(nbytes, concurrent_writers=1)
+        seconds = self.runtime.cluster.costs.pfs_read(nbytes)
         return RestorePayload("disk", windows, nbytes, seconds)
 
     def _evict(self, version: CheckpointVersion) -> None:
@@ -608,6 +607,7 @@ STORES: dict[str, type[CheckpointStore]] = {
     DiskStore.name: DiskStore,
     ParityStore.name: ParityStore,
 }
+register_kind("store", STORES)
 
 
 def make_store(
@@ -624,6 +624,6 @@ def make_store(
     its own configuration winning over ``keep_versions``.
     """
     return resolve_component(
-        "checkpoint store", spec, STORES, CheckpointStore, error,
+        "store", spec, STORES, CheckpointStore, error,
         default=MemoryStore.name, keep_versions=keep_versions,
     )

@@ -1,13 +1,23 @@
-"""Shared component-registry resolution.
+"""Shared component-registry resolution and introspection.
 
 Every pluggable seam of the library — RMA execution backends, checkpoint
-stores, recovery protocols — follows the same convention: a module-level
-``dict`` mapping short names to classes, and a keyword argument that accepts
-either such a name or a ready instance.  :func:`resolve_component` implements
-the lookup once so every seam produces the same error shape: an unknown name
-raises the *caller's* error class naming the bad value **and listing every
-registered choice** (never a bare ``KeyError``), and a value of the wrong
-type says what was expected.
+stores, recovery protocols, study workloads — follows the same convention: a
+module-level ``dict`` mapping short names to classes, and a keyword argument
+that accepts either such a name or a ready instance.  This module implements
+the two shared halves of that convention:
+
+* :func:`resolve_component` — the lookup, done once so every seam produces
+  the same error shape: an unknown name raises the *caller's* error class
+  naming the bad value **and listing every registered choice** (never a bare
+  ``KeyError``), and a value of the wrong type says what was expected;
+* :func:`available` — read-only introspection: the registered names of a
+  seam, by kind (``"backend"``, ``"store"``, ``"recovery"``,
+  ``"workload"``).  Error messages and user-facing listings both come from
+  here, so they can never drift apart.
+
+Seam modules declare themselves with :func:`register_kind` at import time;
+:func:`available` lazily imports the built-in seams so it works without the
+caller having touched them first.
 """
 
 from __future__ import annotations
@@ -16,7 +26,61 @@ from typing import TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["resolve_component"]
+__all__ = ["available", "plural", "register_kind", "resolve_component"]
+
+#: kind -> (name -> class), populated by :func:`register_kind`.
+_KINDS: dict[str, dict[str, type]] = {}
+
+#: Modules that register the built-in kinds, imported lazily by
+#: :func:`available` so introspection works before any seam has been used.
+_BUILTIN_KIND_MODULES = (
+    "repro.backends",
+    "repro.ft.stores",
+    "repro.ft.protocols",
+    "repro.study.workloads",
+)
+
+
+def register_kind(kind: str, registry: dict[str, type]) -> None:
+    """Declare ``registry`` as the name → class table of seam ``kind``.
+
+    Called once at import time by each seam module.  The *same dict object*
+    the seam resolves against is registered, so :func:`available` can never
+    disagree with :func:`resolve_component`.
+    """
+    _KINDS[kind] = registry
+
+
+def available(kind: str) -> tuple[str, ...]:
+    """Sorted names registered for seam ``kind`` (read-only introspection).
+
+    ``kind`` is one of ``"backend"``, ``"store"``, ``"recovery"``,
+    ``"workload"`` (plus any kind registered by third-party extensions).
+    Raises :class:`KeyError` naming the known kinds for an unknown one.
+    """
+    if kind not in _KINDS:
+        import importlib
+
+        for module in _BUILTIN_KIND_MODULES:
+            importlib.import_module(module)
+    registry = _KINDS.get(kind)
+    if registry is None:
+        known = ", ".join(repr(name) for name in sorted(_KINDS))
+        raise KeyError(f"unknown component kind {kind!r}; registered kinds are: {known}")
+    return tuple(sorted(registry))
+
+
+def _known_names(kind: str, registry: dict[str, type[T]]) -> tuple[str, ...]:
+    """The listing used in error messages: :func:`available` when the seam is
+    registered under ``kind``, the raw registry otherwise (custom seams)."""
+    if _KINDS.get(kind) is registry:
+        return available(kind)
+    return tuple(sorted(registry))
+
+
+def plural(kind: str) -> str:
+    """Plural form of a kind name for error messages ("recovery" → "recoveries")."""
+    return kind[:-1] + "ies" if kind.endswith("y") else kind + "s"
 
 
 def resolve_component(
@@ -35,8 +99,8 @@ def resolve_component(
     Parameters
     ----------
     kind:
-        Human name of the seam ("backend", "checkpoint store", ...) used in
-        error messages.
+        Name of the seam ("backend", "store", ...) used in error messages and
+        matched against :func:`register_kind` declarations.
     spec:
         ``None`` (use ``default``), a registered name, or an instance of
         ``base`` passed through unchanged (so tests and instrumented runs can
@@ -67,9 +131,9 @@ def resolve_component(
     if isinstance(spec, str):
         cls = registry.get(spec)
         if cls is None:
-            known = ", ".join(repr(name) for name in sorted(registry))
+            known = ", ".join(repr(name) for name in _known_names(kind, registry))
             raise error(
-                f"unknown {kind} {spec!r}; registered {kind}s are: {known} "
+                f"unknown {kind} {spec!r}; registered {plural(kind)} are: {known} "
                 f"(or pass a {base.__name__} instance)"
             )
         if dry_run:

@@ -115,6 +115,15 @@ class CostModel:
         effective = self.pfs_bandwidth / writers
         return self.pfs_latency + nbytes / effective
 
+    def pfs_read(self, nbytes: int, concurrent_readers: int = 1) -> float:
+        """Time for one process to read ``nbytes`` back from the PFS.
+
+        Modelled symmetrically to :meth:`pfs_write` (shared aggregate
+        bandwidth, fixed access latency) — restores of disk-spilled
+        checkpoints pay this.
+        """
+        return self.pfs_write(nbytes, concurrent_writers=concurrent_readers)
+
     def compute(self, flops: float) -> float:
         """Time to execute ``flops`` floating point operations."""
         return flops * self.flop_time

@@ -122,7 +122,7 @@ def exponential_schedule(
     horizon: float,
     rates_per_level: dict[int, float],
     max_index_per_level: dict[int, int],
-    seed: int | np.random.Generator = 0,
+    seed: int | np.random.Generator | np.random.SeedSequence = 0,
 ) -> FailureSchedule:
     """Draw a failure schedule from per-level Poisson processes.
 
@@ -136,7 +136,10 @@ def exponential_schedule(
         ``{level: H_j}`` — how many elements exist at each level; failing
         elements are drawn uniformly among them.
     seed:
-        Seed or generator for reproducibility.
+        Seed, seed sequence or generator for reproducibility.  Identical
+        seeds yield identical schedules, event for event — the property the
+        Monte-Carlo campaign's trial seeding and the determinism tests rely
+        on.
     """
     if horizon <= 0:
         raise FailureScheduleError("horizon must be positive")

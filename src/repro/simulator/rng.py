@@ -13,12 +13,16 @@ import numpy as np
 __all__ = ["make_rng", "spawn_rngs"]
 
 
-def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+def make_rng(
+    seed: "int | np.random.Generator | np.random.SeedSequence | None",
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
-    ``seed`` may already be a generator (returned unchanged), an integer, or
-    ``None`` (fresh OS entropy — only useful for exploratory runs, never used
-    by the benchmark harness).
+    ``seed`` may already be a generator (returned unchanged), an integer, a
+    :class:`numpy.random.SeedSequence` (how the study campaign derives
+    independent per-trial streams from structured entropy), or ``None``
+    (fresh OS entropy — only useful for exploratory runs, never used by the
+    benchmark harness).
     """
     if isinstance(seed, np.random.Generator):
         return seed

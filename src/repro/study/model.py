@@ -1,0 +1,320 @@
+"""Analytic checkpoint-interval and overhead model (§5–§7).
+
+The paper does not just build fault-tolerance mechanisms — it *models* them:
+per-level failure rates fitted to a real cluster failure history (§7.1) feed
+an analytic expression of checkpoint/recovery overhead (§5), which picks the
+checkpoint interval and predicts how the memory / disk / parity schemes
+compare before a single trial runs.  This module reproduces that methodology
+on top of the simulator's :class:`~repro.simulator.costs.CostModel`:
+
+* :func:`checkpoint_seconds` / :func:`restart_seconds` — the per-store cost
+  of placing one coordinated checkpoint and of restoring from it, derived
+  from the same cost-model primitives the stores charge
+  (:mod:`repro.ft.stores`);
+* :func:`system_failure_rate` — the aggregate fail-stop rate ``λ = Σ_j λ_j``
+  of per-level exponential processes, the paper's Eq. 9-shaped input;
+* :func:`optimal_interval_seconds` — the Young/Daly optimal coordinated-
+  checkpoint interval ``τ_opt ≈ sqrt(2·C·M)`` (with Daly's higher-order
+  correction), where ``C`` is the checkpoint cost and ``M = 1/λ`` the MTBF;
+* :func:`predicted_overhead` — the first-order expected overhead of running
+  with a given interval: checkpoint time per interval plus expected rework
+  and restart per failure — the quantity behind the paper's overhead curves;
+* :class:`IntervalModel` — all of the above bundled for one machine/job
+  configuration, which is what ``FaultTolerancePolicy(interval="auto")``
+  resolves through at session launch.
+
+Everything is closed-form and deterministic; the Monte-Carlo campaign
+(:mod:`repro.study.campaign`) reports these predictions next to the measured
+overheads so the model can be judged exactly as the paper judges its own.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import StudyError
+from repro.registry import available
+from repro.simulator.costs import CostModel
+
+__all__ = [
+    "IntervalModel",
+    "checkpoint_seconds",
+    "restart_seconds",
+    "system_failure_rate",
+    "optimal_interval_seconds",
+    "predicted_overhead",
+    "overhead_curve",
+]
+
+#: Group size assumed for the parity store's cost estimate when none is given
+#: (matches :attr:`repro.ft.stores.ParityStore.DEFAULT_MAX_GROUP`).
+DEFAULT_PARITY_GROUP = 4
+
+
+def system_failure_rate(rates_per_level: Mapping[int, float]) -> float:
+    """Aggregate fail-stop rate ``λ = Σ_j λ_j`` in failures/second.
+
+    ``rates_per_level`` maps FDH levels to the *system-wide* rate of the
+    exponential failure process at that level — the same shape
+    :func:`repro.simulator.failures.exponential_schedule` consumes.  An empty
+    mapping (or all-zero rates) means a failure-free machine: rate ``0.0``,
+    infinite MTBF.
+    """
+    total = 0.0
+    for level, rate in rates_per_level.items():
+        if rate < 0:
+            raise StudyError(f"failure rate for level {level} must be non-negative")
+        total += rate
+    return total
+
+
+def checkpoint_seconds(
+    store: str,
+    *,
+    bytes_per_rank: int,
+    nprocs: int,
+    cost_model: CostModel,
+    parity_group: int = DEFAULT_PARITY_GROUP,
+) -> float:
+    """Analytic cost ``C`` of one coordinated checkpoint, per the store's placement.
+
+    The estimate follows each store's critical path as charged by
+    :mod:`repro.ft.stores` — a rank's own copy work plus the transfer of the
+    redundant copy — and adds the two coordination barriers bracketing every
+    coordinated checkpoint:
+
+    * ``"memory"`` — local copy + buddy transfer + the buddy writing it down
+      (2x placement, §3.1/§5);
+    * ``"disk"`` — one shared-bandwidth PFS write of the rank's snapshot with
+      all ranks writing concurrently (the SCR-PFS baseline of §7);
+    * ``"parity"`` — local copy + the rank's contribution to the group XOR
+      reduction + its ``1/k`` parity chunk being written (§3.3).
+    """
+    if bytes_per_rank < 0:
+        raise StudyError("bytes_per_rank must be non-negative")
+    if nprocs < 1:
+        raise StudyError("nprocs must be at least 1")
+    costs = cost_model
+    nbytes = int(bytes_per_rank)
+    if store == "memory":
+        place = (
+            costs.local_copy(nbytes)
+            + costs.remote_transfer(nbytes)
+            + costs.local_copy(nbytes)
+        )
+    elif store == "disk":
+        place = costs.pfs_write(nbytes, concurrent_writers=nprocs)
+    elif store == "parity":
+        k = max(2, parity_group)
+        place = (
+            costs.local_copy(nbytes)
+            + costs.remote_transfer(nbytes)
+            + costs.local_copy(-(-nbytes // k))
+        )
+    else:
+        known = ", ".join(repr(name) for name in available("store"))
+        raise StudyError(
+            f"no analytic checkpoint-cost model for store {store!r}; "
+            f"modelled stores are: {known}"
+        )
+    return place + 2.0 * costs.barrier(nprocs)
+
+
+def restart_seconds(
+    store: str,
+    *,
+    bytes_per_rank: int,
+    nprocs: int,
+    cost_model: CostModel,
+) -> float:
+    """Analytic cost ``R`` of restoring one failed rank after a fail-stop.
+
+    Mirrors what :meth:`~repro.ft.stores.CheckpointStore.fetch` charges: a
+    buddy transfer for ``"memory"``, a PFS read for ``"disk"``, a group
+    reconstruction transfer for ``"parity"`` — plus the recovery barrier.
+    """
+    if bytes_per_rank < 0:
+        raise StudyError("bytes_per_rank must be non-negative")
+    costs = cost_model
+    nbytes = int(bytes_per_rank)
+    if store == "memory":
+        fetch = costs.remote_transfer(nbytes)
+    elif store == "disk":
+        fetch = costs.pfs_read(nbytes)
+    elif store == "parity":
+        fetch = costs.remote_transfer(nbytes)
+    else:
+        known = ", ".join(repr(name) for name in available("store"))
+        raise StudyError(
+            f"no analytic restart-cost model for store {store!r}; "
+            f"modelled stores are: {known}"
+        )
+    return fetch + costs.barrier(nprocs)
+
+
+def optimal_interval_seconds(checkpoint_s: float, mtbf_s: float) -> float:
+    """Young/Daly optimal coordinated-checkpoint interval ``τ_opt`` in seconds.
+
+    For ``C < 2M`` uses Daly's higher-order expansion
+
+    ``τ = sqrt(2·C·M) · [1 + (1/3)·sqrt(C/(2M)) + (1/9)·(C/(2M))] − C``
+
+    and degenerates to ``τ = M`` when checkpoints are so expensive that
+    ``C ≥ 2M``.  An infinite MTBF (failure-free machine) yields ``inf`` —
+    never checkpoint periodically.
+    """
+    if checkpoint_s <= 0:
+        raise StudyError("checkpoint cost must be positive")
+    if mtbf_s <= 0:
+        raise StudyError("MTBF must be positive")
+    if math.isinf(mtbf_s):
+        return math.inf
+    ratio = checkpoint_s / (2.0 * mtbf_s)
+    if ratio >= 1.0:
+        return mtbf_s
+    tau = math.sqrt(2.0 * checkpoint_s * mtbf_s)
+    tau *= 1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0
+    return max(tau - checkpoint_s, checkpoint_s)
+
+
+def predicted_overhead(
+    interval_s: float,
+    *,
+    checkpoint_s: float,
+    restart_s: float,
+    mtbf_s: float,
+) -> float:
+    """First-order expected overhead fraction of running with interval ``τ``.
+
+    ``overhead = C/τ + ((τ + C)/2 + R) / M`` — checkpoint time amortized over
+    the interval, plus (per failure, i.e. per MTBF) the expected half-interval
+    of lost work and the restart cost.  ``0 ≤ overhead`` and failure-free
+    machines pay only the ``C/τ`` term.  ``τ = inf`` (no periodic
+    checkpoints) pays no checkpoint or rework term here — the lost work per
+    failure is the whole run, which a steady-state model cannot represent —
+    only the restart cost per MTBF; the campaign measures the rest of that
+    gamble empirically.
+    """
+    if interval_s <= 0:
+        raise StudyError("interval must be positive")
+    if math.isinf(interval_s):
+        return 0.0 if math.isinf(mtbf_s) else restart_s / mtbf_s
+    overhead = checkpoint_s / interval_s
+    if not math.isinf(mtbf_s):
+        overhead += ((interval_s + checkpoint_s) / 2.0 + restart_s) / mtbf_s
+    return overhead
+
+
+def overhead_curve(
+    intervals_s: Sequence[float],
+    *,
+    checkpoint_s: float,
+    restart_s: float,
+    mtbf_s: float,
+) -> list[float]:
+    """Predicted overhead at each interval — the paper's §5-style curves."""
+    return [
+        predicted_overhead(
+            tau, checkpoint_s=checkpoint_s, restart_s=restart_s, mtbf_s=mtbf_s
+        )
+        for tau in intervals_s
+    ]
+
+
+@dataclass(frozen=True)
+class IntervalModel:
+    """The analytic model instantiated for one machine/job configuration.
+
+    This is what ``FaultTolerancePolicy(interval="auto")`` resolves through:
+    the session builds an :class:`IntervalModel` from its topology's cost
+    model, the declared store, the measured per-rank window footprint and the
+    declared (or estimated) per-level failure rates, then asks for
+    :meth:`optimal_interval_steps` given the measured per-step cost.
+    """
+
+    cost_model: CostModel
+    nprocs: int
+    bytes_per_rank: int
+    store: str = "memory"
+    rates_per_level: Mapping[int, float] = field(default_factory=dict)
+    parity_group: int = DEFAULT_PARITY_GROUP
+
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Aggregate fail-stop rate λ in failures/second."""
+        return system_failure_rate(self.rates_per_level)
+
+    @property
+    def mtbf_seconds(self) -> float:
+        """Mean time between failures ``M = 1/λ`` (``inf`` when failure-free)."""
+        rate = self.failure_rate
+        return math.inf if rate == 0.0 else 1.0 / rate
+
+    @property
+    def checkpoint_cost_seconds(self) -> float:
+        """Analytic per-checkpoint cost ``C`` for the configured store."""
+        return checkpoint_seconds(
+            self.store,
+            bytes_per_rank=self.bytes_per_rank,
+            nprocs=self.nprocs,
+            cost_model=self.cost_model,
+            parity_group=self.parity_group,
+        )
+
+    @property
+    def restart_cost_seconds(self) -> float:
+        """Analytic per-failure restart cost ``R`` for the configured store."""
+        return restart_seconds(
+            self.store,
+            bytes_per_rank=self.bytes_per_rank,
+            nprocs=self.nprocs,
+            cost_model=self.cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    def optimal_interval_seconds(self) -> float:
+        """Young/Daly ``τ_opt`` in virtual seconds (``inf`` when failure-free)."""
+        return optimal_interval_seconds(self.checkpoint_cost_seconds, self.mtbf_seconds)
+
+    def optimal_interval_steps(
+        self, step_seconds: float, *, max_steps: int | None = None
+    ) -> int | None:
+        """``τ_opt`` converted to whole job steps of measured cost ``step_seconds``.
+
+        Returns ``None`` for a failure-free machine — take no periodic
+        checkpoints at all (the session still takes its initial one).  The
+        result is clamped to ``[1, max_steps]`` when a bound is given.
+        """
+        if step_seconds <= 0:
+            raise StudyError("step_seconds must be positive")
+        tau = self.optimal_interval_seconds()
+        if math.isinf(tau):
+            return None
+        steps = max(1, round(tau / step_seconds))
+        if max_steps is not None:
+            steps = min(steps, max(1, max_steps))
+        return steps
+
+    def predicted_overhead(self, interval_steps: int | None, step_seconds: float) -> float:
+        """Predicted overhead fraction of checkpointing every ``interval_steps``.
+
+        ``None`` means no periodic checkpoints (``τ = inf``).
+        """
+        if step_seconds <= 0:
+            raise StudyError("step_seconds must be positive")
+        tau = math.inf if interval_steps is None else interval_steps * step_seconds
+        return predicted_overhead(
+            tau,
+            checkpoint_s=self.checkpoint_cost_seconds,
+            restart_s=self.restart_cost_seconds,
+            mtbf_s=self.mtbf_seconds,
+        )
+
+    def overhead_curve(
+        self, intervals_steps: Sequence[int], step_seconds: float
+    ) -> list[float]:
+        """Predicted overhead at each step interval — §5-style store curves."""
+        return [self.predicted_overhead(steps, step_seconds) for steps in intervals_steps]

@@ -1,0 +1,393 @@
+"""The workload catalog: registry-resolved SPMD kernels for resilience studies.
+
+The paper evaluates its protocols on concrete applications (§7); this module
+promotes the three example kernels of the repository into first-class,
+parameterizable workloads so the study engine (:mod:`repro.study.campaign`)
+— and any script — can resolve them by name, exactly like
+``backend="sim"|"vector"``, ``store=...`` and ``recovery=...``:
+
+* ``"stencil"`` — the 1-D Jacobi heat stencil (nonblocking halo exchange, a
+  mid-step ``gsync``);
+* ``"allreduce"`` — the two-phase ring allreduce (combining accumulates, the
+  paper's ``M``-flag hazard);
+* ``"kv"`` — GUPS-style lock-protected random-access key-value updates
+  (blocking fetch-and-ops under locks, the Locks-scheme path).
+
+Every workload knows how to set a job up, which kernel to run for how many
+steps, how to collect its result, and how to reduce that result to a
+**bit-exact digest** — the equality test campaigns use to decide whether a
+recovered trial finished identical to the failure-free reference.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+from repro.api.policy import FaultTolerancePolicy, Topology
+from repro.api.session import Job, JobReport, launch
+from repro.errors import StudyError
+from repro.registry import register_kind, resolve_component
+from repro.simulator.costs import CostModel
+from repro.simulator.failures import FailureSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.api.scheduler import Kernel
+    from repro.backends import Backend
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "HeatStencil",
+    "RingAllreduce",
+    "KvUpdate",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """Outcome of one complete workload execution."""
+
+    #: Registry name of the workload that ran.
+    workload: str
+    #: The collected result array (field / vectors / table).
+    result: np.ndarray
+    #: Bit-exact digest of ``result`` (dtype, shape and raw bytes).
+    digest: str
+    #: The session's counters at the end of the run.
+    report: JobReport
+    #: The periodic checkpoint interval the session actually used — the
+    #: analytic-model resolution when the policy said ``interval="auto"``.
+    resolved_interval: int | None
+    #: Per-rank window footprint in bytes (the analytic model's ``B``).
+    bytes_per_rank: int
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"{self.workload}: {self.report.describe()}"
+
+
+class Workload(abc.ABC):
+    """One catalog entry: a parameterized SPMD program with a digestible result.
+
+    Subclasses define the window setup, the kernel, the step count and the
+    result collection; the base class owns the digest and the one-call
+    :meth:`run` driver used by campaigns, benchmarks and tests.
+    """
+
+    #: Registry name ("stencil", "allreduce", "kv", ...).
+    name: ClassVar[str] = "abstract"
+    #: Whether the session should close every step with an implicit gsync
+    #: (kernels with a mid-step collective synchronize themselves).
+    sync_each_step: ClassVar[bool] = True
+
+    def __init__(self, *, nprocs: int = 8) -> None:
+        if nprocs < 2:
+            raise StudyError(f"workload {self.name!r} needs at least 2 ranks")
+        self.nprocs = nprocs
+
+    # ------------------------------------------------------------------
+    # The catalog contract
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def steps(self) -> int:
+        """Number of job steps one run executes."""
+
+    @abc.abstractmethod
+    def setup(self, job: Job) -> None:
+        """Allocate and deterministically initialize the job's windows."""
+
+    @abc.abstractmethod
+    def kernel(self) -> "Kernel":
+        """The per-rank kernel to drive for :attr:`steps` steps."""
+
+    @abc.abstractmethod
+    def collect(self, job: Job) -> np.ndarray:
+        """Gather the result array out of the finished job."""
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def digest(self, result: np.ndarray) -> str:
+        """Bit-exact digest of a result: dtype, shape and raw bytes."""
+        arr = np.ascontiguousarray(result)
+        h = hashlib.sha256()
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def bytes_per_rank(self) -> int:
+        """Per-rank window footprint in bytes — the analytic model's ``B``.
+
+        Measured by setting the workload up on a throwaway session (no steps
+        are executed), so catalog entries never have to duplicate their
+        window arithmetic.
+        """
+        with launch(self.nprocs, sync_each_step=self.sync_each_step) as job:
+            self.setup(job)
+            return sum(w.nbytes_per_rank for w in job.runtime.windows.all())
+
+    def run(
+        self,
+        *,
+        ft: FaultTolerancePolicy | None = None,
+        failures: FailureSchedule | None = None,
+        backend: "str | Backend" = "sim",
+        procs_per_node: int = 2,
+        cost_model: CostModel | None = None,
+        record: bool = False,
+    ) -> WorkloadRun:
+        """Launch a session, run the workload to completion, digest the result."""
+        with launch(
+            self.nprocs,
+            topology=Topology(procs_per_node=procs_per_node, cost_model=cost_model),
+            ft=ft,
+            failures=failures,
+            record=record,
+            sync_each_step=self.sync_each_step,
+            backend=backend,
+        ) as job:
+            self.setup(job)
+            report = job.run(self.kernel(), steps=self.steps)
+            result = self.collect(job)
+            resolved = job.resolved_interval
+            footprint = sum(w.nbytes_per_rank for w in job.runtime.windows.all())
+        return WorkloadRun(
+            workload=self.name,
+            result=result,
+            digest=self.digest(result),
+            report=report,
+            resolved_interval=resolved,
+            bytes_per_rank=footprint,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(nprocs={self.nprocs}, steps={self.steps})"
+
+
+class HeatStencil(Workload):
+    """1-D Jacobi heat stencil with nonblocking halo exchange (examples/heat_stencil_ft).
+
+    Each rank owns ``n_local`` interior cells of a rod in a window ``u`` with
+    one ghost cell per side; every step puts the boundary cells into the
+    neighbours' ghost cells, suspends at a ``gsync`` and updates the interior.
+    """
+
+    name = "stencil"
+    sync_each_step = False  # the kernel's mid-step gsync is the only sync
+
+    ALPHA = 0.1  # diffusion coefficient of the explicit update
+
+    def __init__(self, *, nprocs: int = 8, n_local: int = 32, iters: int = 60) -> None:
+        super().__init__(nprocs=nprocs)
+        if n_local < 1 or iters < 1:
+            raise StudyError("stencil needs n_local >= 1 and iters >= 1")
+        self.n_local = n_local
+        self.iters = iters
+
+    @property
+    def steps(self) -> int:
+        return self.iters
+
+    def initial_field(self) -> np.ndarray:
+        """Deterministic initial temperature: a sine profile plus a hot spot."""
+        n_global = self.nprocs * self.n_local
+        x = np.arange(n_global, dtype=np.float64)
+        field = np.sin(2.0 * np.pi * x / n_global)
+        field[n_global // 3] += 2.0
+        return field
+
+    def setup(self, job: Job) -> None:
+        job.allocate("u", self.n_local + 2)
+        initial = self.initial_field()
+        n = self.n_local
+        for ctx in job.contexts:
+            ctx.local("u")[1 : n + 1] = initial[ctx.rank * n : (ctx.rank + 1) * n]
+
+    def kernel(self) -> "Kernel":
+        n_local = self.n_local
+        alpha = self.ALPHA
+
+        def kernel(ctx, step):
+            u = ctx.win("u")
+            mine = u.local
+            # Halo exchange: nonblocking puts of the boundary cells into the
+            # neighbours' ghost cells; the gsync below completes them (a
+            # batching backend is free to coalesce them until then).
+            if ctx.rank > 0:
+                u.put_nb(ctx.rank - 1, n_local + 1, mine[1:2])
+            if ctx.rank < ctx.nranks - 1:
+                u.put_nb(ctx.rank + 1, 0, mine[n_local : n_local + 1])
+            yield ctx.gsync()  # halos are visible from here on
+            interior = mine[1 : n_local + 1]
+            mine[1 : n_local + 1] = interior + alpha * (
+                mine[0:n_local] - 2.0 * interior + mine[2 : n_local + 2]
+            )
+            ctx.compute(4.0 * n_local)
+
+        return kernel
+
+    def collect(self, job: Job) -> np.ndarray:
+        return job.gather("u", part=slice(1, self.n_local + 1))
+
+
+class RingAllreduce(Workload):
+    """Two-phase ring allreduce (examples/ring_allreduce_ft).
+
+    Reduce-scatter hops *accumulate* chunks into the right neighbour —
+    exactly the combining operations a naive log re-application would
+    double-apply (the paper's ``M`` flag, §3.2.3) — then allgather hops
+    forward the reduced chunks with plain puts.
+    """
+
+    name = "allreduce"
+
+    def __init__(self, *, nprocs: int = 8, chunk: int = 16) -> None:
+        super().__init__(nprocs=nprocs)
+        if chunk < 1:
+            raise StudyError("allreduce needs chunk >= 1")
+        self.chunk = chunk
+
+    @property
+    def steps(self) -> int:
+        return 2 * self.nprocs - 2
+
+    def initial_vector(self, rank: int) -> np.ndarray:
+        """Deterministic per-rank input vector."""
+        x = np.arange(self.nprocs * self.chunk, dtype=np.float64)
+        return np.sin(x * (rank + 1)) + rank
+
+    def expected(self) -> np.ndarray:
+        """The element-wise sum every rank must end with."""
+        return np.sum([self.initial_vector(r) for r in range(self.nprocs)], axis=0)
+
+    def setup(self, job: Job) -> None:
+        job.allocate("vec", self.nprocs * self.chunk)
+        for ctx in job.contexts:
+            ctx.local("vec")[:] = self.initial_vector(ctx.rank)
+
+    def kernel(self) -> "Kernel":
+        chunk = self.chunk
+
+        def kernel(ctx, step):
+            vec = ctx.win("vec")
+            nranks = ctx.nranks
+            right = (ctx.rank + 1) % nranks
+            if step < nranks - 1:
+                # Reduce-scatter hop: combine my partial chunk into the neighbour's.
+                c = (ctx.rank - step) % nranks
+                vec.accumulate_nb(right, c * chunk, vec.local[c * chunk : (c + 1) * chunk])
+            else:
+                # Allgather hop: forward the already-reduced chunk.
+                t = step - (nranks - 1)
+                c = (ctx.rank + 1 - t) % nranks
+                vec.put_nb(right, c * chunk, vec.local[c * chunk : (c + 1) * chunk])
+            ctx.compute(2.0 * chunk)
+
+        return kernel
+
+    def collect(self, job: Job) -> np.ndarray:
+        return np.stack([job.local(r, "vec").copy() for r in range(self.nprocs)])
+
+
+class KvUpdate(Workload):
+    """GUPS-style lock-protected random-access key-value updates (examples/kv_update_ft).
+
+    Each step every rank draws a deterministic pseudo-random batch of
+    ``(key, delta)`` updates — seeded purely by ``(seed, step, rank)``, so a
+    replayed step draws exactly the same batch — and applies each with a
+    lock-protected atomic ``fetch_and_op(SUM)`` on the owner rank.
+    """
+
+    name = "kv"
+
+    def __init__(
+        self,
+        *,
+        nprocs: int = 8,
+        slots: int = 24,
+        updates_per_step: int = 8,
+        steps: int = 24,
+        seed: int = 11,
+    ) -> None:
+        super().__init__(nprocs=nprocs)
+        if slots < 1 or updates_per_step < 1 or steps < 1:
+            raise StudyError("kv needs slots, updates_per_step and steps all >= 1")
+        self.slots = slots
+        self.updates_per_step = updates_per_step
+        self.nsteps = steps
+        self.seed = seed
+
+    @property
+    def steps(self) -> int:
+        return self.nsteps
+
+    def batch(self, step: int, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """The update batch of ``rank`` at ``step``: pure function of its inputs."""
+        rng = np.random.default_rng((self.seed, step, rank))
+        keys = rng.integers(0, self.nprocs * self.slots, size=self.updates_per_step)
+        deltas = rng.integers(1, 10, size=self.updates_per_step).astype(np.float64)
+        return keys, deltas
+
+    def expected(self) -> np.ndarray:
+        """Replay every batch locally, in the scheduler's (step, rank) order."""
+        table = np.zeros(self.nprocs * self.slots, dtype=np.float64)
+        for step in range(self.nsteps):
+            for rank in range(self.nprocs):
+                keys, deltas = self.batch(step, rank)
+                for key, delta in zip(keys, deltas):
+                    table[int(key)] += delta
+        return table
+
+    def setup(self, job: Job) -> None:
+        job.allocate("table", self.slots)
+
+    def kernel(self) -> "Kernel":
+        slots = self.slots
+        updates = self.updates_per_step
+        batch = self.batch
+
+        def kernel(ctx, step):
+            keys, deltas = batch(step, ctx.rank)
+            for key, delta in zip(keys, deltas):
+                owner, offset = divmod(int(key), slots)
+                ctx.lock(owner)
+                ctx.fetch_and_op(owner, "table", offset, float(delta))
+                ctx.unlock(owner)
+            ctx.compute(10.0 * updates)
+
+        return kernel
+
+    def collect(self, job: Job) -> np.ndarray:
+        return job.gather("table")
+
+
+#: Registry of constructable workloads, by name.
+WORKLOADS: dict[str, type[Workload]] = {
+    HeatStencil.name: HeatStencil,
+    RingAllreduce.name: RingAllreduce,
+    KvUpdate.name: KvUpdate,
+}
+register_kind("workload", WORKLOADS)
+
+
+def make_workload(spec: "str | Workload | None", **params: object) -> Workload:
+    """Resolve a workload specification into a fresh (or given) instance.
+
+    ``None`` means the default (``"stencil"``); a string is looked up in
+    :data:`WORKLOADS` (an unknown name raises :class:`StudyError` listing the
+    registered choices); a :class:`Workload` instance passes through, its own
+    parameters winning over ``params``.
+    """
+    return resolve_component(
+        "workload", spec, WORKLOADS, Workload, StudyError,
+        default=HeatStencil.name, **params,
+    )

@@ -103,7 +103,9 @@ def test_kv_localized_replay_bit_identical(backend):
 
 
 def test_localized_replay_restores_strictly_fewer_bytes():
-    from heat_stencil_ft import make_stencil_kernel, _initial_field
+    from repro.study.workloads import HeatStencil
+
+    workload = HeatStencil(nprocs=8, n_local=16, iters=24)
 
     def run(recovery, schedule=None):
         policy = repro.FaultTolerancePolicy(interval=6, recovery=recovery)
@@ -111,11 +113,8 @@ def test_localized_replay_restores_strictly_fewer_bytes():
             8, topology=repro.Topology(procs_per_node=2), ft=policy,
             failures=schedule, sync_each_step=False,
         ) as job:
-            job.allocate("u", 18)
-            init = _initial_field(8, 16)
-            for ctx in job.contexts:
-                ctx.local("u")[1:17] = init[ctx.rank * 16 : (ctx.rank + 1) * 16]
-            report = job.run(make_stencil_kernel(16), steps=24)
+            workload.setup(job)
+            report = job.run(workload.kernel(), steps=workload.steps)
             field = job.gather("u", part=slice(1, 17))
         return field, report
 
@@ -308,8 +307,9 @@ def test_report_describe_mentions_excised_ranks():
         sync_each_step=False,
     ) as job:
         job.allocate("u", 10)
-        from heat_stencil_ft import make_stencil_kernel
+        from repro.study.workloads import HeatStencil
 
-        report = job.run(make_stencil_kernel(8), steps=12)
+        kernel = HeatStencil(nprocs=6, n_local=8, iters=12).kernel()
+        report = job.run(kernel, steps=12)
     assert report.excised_ranks == 1
     assert "1 ranks excised" in report.describe()
