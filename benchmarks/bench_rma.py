@@ -22,6 +22,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_rma.py --quick         # CI smoke
     PYTHONPATH=src python benchmarks/bench_rma.py --quick \\
         --check-baseline benchmarks/BENCH_rma_baseline.json       # regression gate
+    PYTHONPATH=src python benchmarks/bench_rma.py --quick --backend proc \\
+        --check-baseline benchmarks/BENCH_rma_proc_baseline.json  # real processes
 
 The regression gate fails (exit 1) when any measured ops/sec regressed by
 more than ``--max-regression`` (default 2x) against the checked-in baseline,
@@ -102,26 +104,41 @@ def _run_epochs(rt: RmaRuntime, wl: Workload, epochs: int, nonblocking: bool) ->
     return ops
 
 
-def _bench_mode(wl: Workload, epochs: int, *, nonblocking: bool) -> tuple[float, np.ndarray]:
-    """Time one mode; return (ops_per_sec, final window contents)."""
-    backend = "vector" if nonblocking else "sim"
+def _bench_mode(
+    wl: Workload, epochs: int, *, nonblocking: bool, backend: str = "vector"
+) -> tuple[float, np.ndarray]:
+    """Time one mode; return (ops_per_sec, final window contents).
+
+    The blocking reference always runs on the eager in-process backend; the
+    nonblocking path runs on ``backend`` (``"vector"`` by default, ``"proc"``
+    to push the stream through real worker processes over shared memory).
+    """
+    backend = backend if nonblocking else "sim"
     rt = _make_runtime(backend)
-    # Warm up caches and allocator outside the timed region.
-    _run_epochs(rt, wl, min(2, epochs), nonblocking)
+    try:
+        # Warm up caches and allocator outside the timed region.
+        _run_epochs(rt, wl, min(2, epochs), nonblocking)
+    finally:
+        rt.finalize()
     rt = _make_runtime(backend)
-    start = time.perf_counter()
-    ops = _run_epochs(rt, wl, epochs, nonblocking)
-    elapsed = time.perf_counter() - start
-    state = np.stack([rt.local(r, "w").copy() for r in range(NPROCS)])
+    try:
+        start = time.perf_counter()
+        ops = _run_epochs(rt, wl, epochs, nonblocking)
+        elapsed = time.perf_counter() - start
+        state = np.stack([rt.local(r, "w").copy() for r in range(NPROCS)])
+    finally:
+        rt.finalize()
     return ops / elapsed, state
 
 
-def run_benchmarks(epochs: int) -> dict:
+def run_benchmarks(epochs: int, backend: str = "vector") -> dict:
     """Run every workload in both modes and assemble the result document."""
     results: dict[str, dict[str, float]] = {}
     for wl in WORKLOADS:
         blocking_ops, blocking_state = _bench_mode(wl, epochs, nonblocking=False)
-        nonblocking_ops, nonblocking_state = _bench_mode(wl, epochs, nonblocking=True)
+        nonblocking_ops, nonblocking_state = _bench_mode(
+            wl, epochs, nonblocking=True, backend=backend
+        )
         if not np.array_equal(blocking_state, nonblocking_state):
             raise AssertionError(
                 f"{wl.name}: blocking and nonblocking paths diverged — "
@@ -138,6 +155,7 @@ def run_benchmarks(epochs: int) -> dict:
             "nprocs": NPROCS,
             "window_elems": WINDOW,
             "epochs": epochs,
+            "backend": backend,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -145,7 +163,9 @@ def run_benchmarks(epochs: int) -> dict:
     }
 
 
-def check_against_baseline(report: dict, baseline: dict, max_regression: float) -> list[str]:
+def check_against_baseline(
+    report: dict, baseline: dict, max_regression: float
+) -> list[str]:
     """Compare ops/sec against the baseline; return failure messages."""
     failures: list[str] = []
     for name, base in baseline.get("workloads", {}).items():
@@ -161,8 +181,15 @@ def check_against_baseline(report: dict, baseline: dict, max_regression: float) 
                     f"slower than baseline {base[key]:.0f} ops/s "
                     f"(allowed {max_regression:.1f}x)"
                 )
+    # The batched-beats-eager invariant is a claim about the in-process
+    # vector backend only; real worker processes pay IPC per batch and are
+    # gated purely by the ops/sec baseline above.
     stencil = report["workloads"].get("heat_stencil", {})
-    if stencil and stencil["speedup"] < 1.0:
+    if (
+        report.get("meta", {}).get("backend", "vector") == "vector"
+        and stencil
+        and stencil["speedup"] < 1.0
+    ):
         failures.append(
             f"heat_stencil: batched nonblocking path no longer beats the eager "
             f"blocking path (speedup {stencil['speedup']:.3f} < 1.0)"
@@ -177,7 +204,13 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="short run for CI smoke (30 epochs)"
     )
     parser.add_argument(
-        "--output", default="BENCH_rma.json", help="where to write the JSON report"
+        "--backend", choices=("vector", "proc"), default="vector",
+        help="backend driving the nonblocking path (default: vector)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_rma.json, BENCH_rma_proc.json for --backend proc)",
     )
     parser.add_argument(
         "--check-baseline", metavar="PATH", default=None,
@@ -189,8 +222,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.backend == "proc":
+        from repro.backends import proc_available
+
+        if not proc_available():
+            print("proc backend unavailable on this platform; nothing to measure")
+            return 0
+    if args.output is None:
+        args.output = (
+            "BENCH_rma_proc.json" if args.backend == "proc" else "BENCH_rma.json"
+        )
+
     epochs = 30 if args.quick else args.epochs
-    report = run_benchmarks(epochs)
+    report = run_benchmarks(epochs, backend=args.backend)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

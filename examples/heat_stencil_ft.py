@@ -66,6 +66,7 @@ def run_stencil(
     store: str = "memory",
     recovery: str = "global",
     failure_rates: dict[int, float] | None = None,
+    kill_plan: repro.KillPlan | None = None,
 ) -> StencilResult:
     """Run the catalog stencil to completion; the session recovers failures."""
     workload = HeatStencil(nprocs=nprocs, n_local=n_local, iters=iters)
@@ -82,6 +83,7 @@ def run_stencil(
         failures=failure_schedule,
         backend=backend,
         procs_per_node=procs_per_node,
+        kill_plan=kill_plan,
     )
     return StencilResult(
         field=run.result,
@@ -188,6 +190,39 @@ def main() -> None:
             )
             if not identical:
                 raise SystemExit(1)
+
+    # Real processes, real kills: on platforms with fork + POSIX shared
+    # memory, the same catalog entry runs with every rank a real OS process
+    # over shared-memory windows, and the fault is a real SIGKILL delivered
+    # mid-run.  Timed by completion-stream position, the same kill strikes
+    # the exception-injected sim run at the same program point — and every
+    # (store x recovery) cell must finish bit-identical to it.
+    if repro.proc_available():
+        plan = repro.KillPlan.single(rank=3, after_ops=120)
+        for store in ("memory", "disk", "parity"):
+            for recovery in ("global", "localized"):
+                simulated = run_stencil(
+                    nprocs=nprocs, n_local=n_local, iters=iters,
+                    backend="sim", store=store, recovery=recovery,
+                    kill_plan=plan,
+                )
+                killed = run_stencil(
+                    nprocs=nprocs, n_local=n_local, iters=iters,
+                    backend="proc", store=store, recovery=recovery,
+                    kill_plan=plan,
+                )
+                identical = killed.recoveries >= 1 and (
+                    np.array_equal(simulated.field, killed.field)
+                    and np.array_equal(baseline.field, killed.field)
+                )
+                print(
+                    f"real SIGKILL (proc/{store}/{recovery}): bit-identical "
+                    f"to simulated kill = {identical}"
+                )
+                if not identical:
+                    raise SystemExit(1)
+    else:  # pragma: no cover - platform dependent
+        print("real-process backend unavailable here; skipping SIGKILL runs")
 
     # Best-effort degraded continuation: the failed ranks are excised and the
     # survivors keep computing on the shrunk membership — no bit-identity

@@ -61,6 +61,7 @@ def run_allreduce(
     backend: str = "sim",
     store: str = "memory",
     recovery: str = "global",
+    kill_plan: repro.KillPlan | None = None,
 ) -> AllreduceResult:
     """Run the catalog allreduce; the session recovers injected failures."""
     workload = RingAllreduce(nprocs=nprocs, chunk=CHUNK)
@@ -72,6 +73,7 @@ def run_allreduce(
         failures=failure_schedule,
         backend=backend,
         procs_per_node=procs_per_node,
+        kill_plan=kill_plan,
     )
     return AllreduceResult(
         vectors=run.result,
@@ -130,6 +132,35 @@ def main() -> None:
         print(f"localized recovery ({backend}): bit-identical to global = {identical}")
         if not identical:
             raise SystemExit(1)
+
+    # Real processes, real kills: a mid-reduce-scatter SIGKILL of a real
+    # worker process must land the ring exactly where the exception-injected
+    # sim run lands it — the combining accumulates make this the sharpest
+    # bit-identity test of the real-process backend.
+    if repro.proc_available():
+        plan = repro.KillPlan.single(rank=3, after_ops=40)
+        for store in ("memory", "disk", "parity"):
+            for recovery in ("global", "localized"):
+                simulated = run_allreduce(
+                    nprocs=nprocs, backend="sim", store=store,
+                    recovery=recovery, kill_plan=plan,
+                )
+                killed = run_allreduce(
+                    nprocs=nprocs, backend="proc", store=store,
+                    recovery=recovery, kill_plan=plan,
+                )
+                identical = killed.recoveries >= 1 and (
+                    np.array_equal(simulated.vectors, killed.vectors)
+                    and np.array_equal(baseline.vectors, killed.vectors)
+                )
+                print(
+                    f"real SIGKILL (proc/{store}/{recovery}): bit-identical "
+                    f"to simulated kill = {identical}"
+                )
+                if not identical:
+                    raise SystemExit(1)
+    else:  # pragma: no cover - platform dependent
+        print("real-process backend unavailable here; skipping SIGKILL runs")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,8 @@ The package is layered bottom-up:
   orders, nonblocking operation handles) and the
   :class:`~repro.rma.runtime.RmaRuntime` coordination layer;
 * :mod:`repro.backends` — pluggable execution backends owning window storage
-  (eager ``"sim"``, batching ``"vector"``);
+  (eager ``"sim"``, batching ``"vector"``, real-process shared-memory
+  ``"proc"``);
 * :mod:`repro.ft` — the fault-tolerance protocols built on the runtime
   (topology-aware in-memory checkpointing and recovery);
 * :mod:`repro.api` — the rank-centric session API: :func:`launch` a job,
@@ -33,17 +34,28 @@ from repro.api import (
     WindowHandle,
     launch,
 )
-from repro.backends import Backend, SimBackend, VectorBackend, make_backend
+from repro.backends import (
+    Backend,
+    ProcBackend,
+    SimBackend,
+    VectorBackend,
+    make_backend,
+    proc_available,
+)
 from repro.errors import ReproError
 from repro.ft import (
     CheckpointStore,
     ContinueDegraded,
     DiskStore,
+    FaultInjector,
     GlobalRollback,
+    KillKind,
+    KillPlan,
     LocalizedReplay,
     MemoryStore,
     ParityStore,
     RecoveryProtocol,
+    install_injector,
 )
 from repro.registry import available
 from repro.rma.handles import OpHandle
@@ -76,7 +88,13 @@ __all__ = [
     "Backend",
     "SimBackend",
     "VectorBackend",
+    "ProcBackend",
+    "proc_available",
     "make_backend",
+    "KillKind",
+    "KillPlan",
+    "FaultInjector",
+    "install_injector",
     "CheckpointStore",
     "MemoryStore",
     "DiskStore",
@@ -89,4 +107,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"

@@ -23,6 +23,8 @@ recovered run finishes bit-identical to a failure-free one.
 
 from __future__ import annotations
 
+import signal
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +33,13 @@ from repro.api.context import RankContext
 from repro.api.policy import FaultTolerancePolicy, Topology
 from repro.api.scheduler import CooperativeScheduler, Kernel
 from repro.backends import BACKENDS, Backend
-from repro.errors import ApiError, PolicyError, ProcessFailedError, RecoveryError
+from repro.errors import (
+    ApiError,
+    PolicyError,
+    ProcessFailedError,
+    RecoveryError,
+    WatchdogError,
+)
 from repro.ft.stack import FtStack
 from repro.registry import resolve_component
 from repro.rma.runtime import RmaRuntime
@@ -99,7 +107,11 @@ class Job:
         record: bool = False,
         sync_each_step: bool = True,
         backend: str | Backend | None = None,
+        watchdog: float | None = None,
     ) -> None:
+        if watchdog is not None and watchdog <= 0:
+            raise ApiError("watchdog must be a positive number of seconds (or None)")
+        self.watchdog = watchdog
         self.topology = topology or Topology()
         self.policy = ft
         self.cluster = self.topology.build(nprocs, failure_schedule=failures)
@@ -215,6 +227,12 @@ class Job:
         together with its buddy
         (:class:`~repro.errors.CatastrophicFailure`).  Without a
         fault-tolerance policy, failures propagate to the caller unchanged.
+
+        With a ``watchdog`` configured on the session (wall-clock seconds; off
+        by default), every step must complete within the limit or the run
+        fails with a :class:`~repro.errors.WatchdogError` carrying
+        :meth:`describe_ranks` — so a wedged real-process rendezvous produces
+        a diagnosis instead of a hung test suite.
         """
         if steps < 0:
             raise ApiError("steps must be non-negative")
@@ -229,36 +247,95 @@ class Job:
             self._interval = None
         end = start_step + steps
         step = start_step
-        while step < end:
-            try:
-                self._checkpoint_hook(step)
-                # Measure the first completed ordinary step (checkpoint cost
-                # excluded, replayed steps skipped — their suppressed actions
-                # are cheaper than real ones) to feed the analytic model.
-                measuring = self._auto_pending and not self.runtime.replaying
-                step_began = self.cluster.elapsed() if measuring else 0.0
-                self.scheduler.run_step(kernel, step)
-                # Boundary bookkeeping runs twice: once when the kernels have
-                # finished (their local stores are in), and once more after
-                # the step-closing sync (which may complete — and log — the
-                # step's outstanding nonblocking operations).  A crash inside
-                # that sync thus finds the log marked *after* the kernels'
-                # local work, so a localized replay never re-applies it.
-                self._step_boundary_hook()
-                if self.sync_each_step:
-                    self.runtime.gsync()
+        arm_watchdog = self._arm_watchdog()
+        try:
+            while step < end:
+                arm_watchdog()
+                try:
+                    self._checkpoint_hook(step)
+                    # Measure the first completed ordinary step (checkpoint cost
+                    # excluded, replayed steps skipped — their suppressed actions
+                    # are cheaper than real ones) to feed the analytic model.
+                    measuring = self._auto_pending and not self.runtime.replaying
+                    step_began = self.cluster.elapsed() if measuring else 0.0
+                    self.scheduler.run_step(kernel, step)
+                    # Boundary bookkeeping runs twice: once when the kernels have
+                    # finished (their local stores are in), and once more after
+                    # the step-closing sync (which may complete — and log — the
+                    # step's outstanding nonblocking operations).  A crash inside
+                    # that sync thus finds the log marked *after* the kernels'
+                    # local work, so a localized replay never re-applies it.
                     self._step_boundary_hook()
-                step += 1
-                self._steps_executed += 1
-                if measuring and not self.runtime.replaying:
-                    self._resolve_auto_interval(
-                        self.cluster.elapsed() - step_began, max_steps=steps
-                    )
-            except ProcessFailedError:
-                if self.ft is None:
-                    raise
-                step = self._recover(start_step, step)
+                    if self.sync_each_step:
+                        self.runtime.gsync()
+                        self._step_boundary_hook()
+                    step += 1
+                    self._steps_executed += 1
+                    if measuring and not self.runtime.replaying:
+                        self._resolve_auto_interval(
+                            self.cluster.elapsed() - step_began, max_steps=steps
+                        )
+                except ProcessFailedError:
+                    if self.ft is None:
+                        raise
+                    step = self._recover(start_step, step)
+        finally:
+            self._disarm_watchdog()
         return self.report()
+
+    def describe_ranks(self) -> str:
+        """Per-rank diagnostic dump: liveness, clock, pending ops, vehicle.
+
+        The "vehicle" column is the backend's execution-vehicle state — the
+        worker pid/liveness on the real-process backend, a constant for the
+        in-process ones.
+        """
+        lines = []
+        for rank in range(self.nranks):
+            if rank in self.runtime.excised:
+                state = "excised"
+            elif self.cluster.is_alive(rank):
+                state = "alive"
+            else:
+                state = "failed"
+            lines.append(
+                f"  rank {rank}: {state}, t={self.cluster.now(rank):.6f}s, "
+                f"pending_nb={self.runtime.pending_nb_ops(rank)}, "
+                f"vehicle: {self.runtime.backend.describe_rank(rank)}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self):
+        """Per-step wall-clock watchdog via ``SIGALRM`` (POSIX main thread).
+
+        Returns a callable re-arming the timer, a no-op when the watchdog is
+        off or unarmable (no ``SIGALRM``, or :meth:`run` called off the main
+        thread — then only the backend's own ack timeout protects the run).
+        """
+        if (
+            self.watchdog is None
+            or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            self._watchdog_prev = None
+            return lambda: None
+
+        def _on_alarm(signum, frame):
+            raise WatchdogError(
+                f"job step exceeded the {self.watchdog:.1f}s watchdog; "
+                f"per-rank states:\n{self.describe_ranks()}"
+            )
+
+        self._watchdog_prev = signal.signal(signal.SIGALRM, _on_alarm)
+        return lambda: signal.setitimer(signal.ITIMER_REAL, self.watchdog)
+
+    def _disarm_watchdog(self) -> None:
+        prev = getattr(self, "_watchdog_prev", None)
+        if prev is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, prev)
+            self._watchdog_prev = None
 
     def report(self) -> JobReport:
         """Current counters of the session as an immutable report."""
@@ -439,6 +516,7 @@ def launch(
     record: bool = False,
     sync_each_step: bool = True,
     backend: str | Backend | None = None,
+    watchdog: float | None = None,
 ) -> Job:
     """Launch an SPMD session of ``nprocs`` ranks on a simulated cluster.
 
@@ -471,6 +549,12 @@ def launch(
         operation results only after the epoch completing them — i.e. any
         program without intra-epoch data races, which the model leaves
         unordered anyway (§2.2).
+    watchdog:
+        Wall-clock seconds each job step may take before the run fails with
+        a :class:`~repro.errors.WatchdogError` and a per-rank state dump.
+        ``None`` (the default) disables the step watchdog — the virtual-time
+        backends cannot deadlock, and the real-process backend keeps its own
+        per-dispatch ack timeout regardless.
     """
     return Job(
         nprocs,
@@ -480,4 +564,5 @@ def launch(
         record=record,
         sync_each_step=sync_each_step,
         backend=backend,
+        watchdog=watchdog,
     )

@@ -7,7 +7,11 @@ and virtual-time costs.  Two backends ship:
 * :class:`SimBackend` (``"sim"``, the default) — eager per-op execution at
   issue time, the historical runtime behavior;
 * :class:`VectorBackend` (``"vector"``) — queues nonblocking operations per
-  epoch and applies them as coalesced numpy batch writes at completion time.
+  epoch and applies them as coalesced numpy batch writes at completion time;
+* :class:`ProcBackend` (``"proc"``, POSIX platforms) — each rank is a real OS
+  process applying its queued operations to windows in shared memory; real
+  ``SIGKILL`` deaths surface through the same fail-stop path as simulated
+  failures (registered only where :func:`proc_available` holds).
 
 Select one with ``repro.launch(..., backend="vector")`` or
 ``RmaRuntime(cluster, backend=...)``; both accept a name or a ready
@@ -17,18 +21,31 @@ Select one with ``repro.launch(..., backend="vector")`` or
 from __future__ import annotations
 
 from repro.backends.base import Backend, apply_action
+from repro.backends.proc import ProcBackend, SharedWindow, proc_available
 from repro.backends.sim import SimBackend
 from repro.backends.vector import VectorBackend
 from repro.errors import BackendError
 from repro.registry import register_kind, resolve_component
 
-__all__ = ["Backend", "SimBackend", "VectorBackend", "BACKENDS", "make_backend", "apply_action"]
+__all__ = [
+    "Backend",
+    "SimBackend",
+    "VectorBackend",
+    "ProcBackend",
+    "SharedWindow",
+    "proc_available",
+    "BACKENDS",
+    "make_backend",
+    "apply_action",
+]
 
 #: Registry of constructable backends, by name.
 BACKENDS: dict[str, type[Backend]] = {
     SimBackend.name: SimBackend,
     VectorBackend.name: VectorBackend,
 }
+if proc_available():  # an unsupported platform gets a clean unknown-name error
+    BACKENDS[ProcBackend.name] = ProcBackend
 register_kind("backend", BACKENDS)
 
 

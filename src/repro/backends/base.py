@@ -120,6 +120,44 @@ class Backend(abc.ABC):
         self.windows.reallocate_rank(rank)
 
     # ------------------------------------------------------------------
+    # Real-failure plumbing (no-ops for in-process backends)
+    # ------------------------------------------------------------------
+    def poll_failures(self) -> list[int]:
+        """Ranks whose *execution vehicle* died since the last poll.
+
+        In-process backends have no vehicle to lose — failures only ever
+        enter through the cluster's injector — so the default reports
+        nothing.  A backend that runs ranks as real OS processes reports
+        each dead worker exactly once per incarnation here; the runtime
+        folds the report into :meth:`~repro.rma.runtime.RmaRuntime.
+        observe_failures`, so real deaths surface through the *same*
+        fail-stop path (window invalidation, interceptor notification,
+        :class:`~repro.errors.ProcessFailedError`) as simulated ones.
+        """
+        return []
+
+    def respawn_rank(self, rank: int) -> None:
+        """Provide a fresh execution vehicle for a respawned ``rank``.
+
+        Called by the runtime's respawn notification (the recovery path) —
+        *not* by :meth:`reallocate_rank`, which also serves excised ranks
+        that must never get a new process.
+        """
+
+    def close(self) -> None:
+        """Release backend-owned resources (processes, shared memory).
+
+        Called by :meth:`~repro.rma.runtime.RmaRuntime.finalize`.  Must be
+        idempotent.  Window buffers must stay readable afterwards (results
+        are often gathered after a session closed), so a backend with
+        external storage swaps in private copies before releasing it.
+        """
+
+    def describe_rank(self, rank: int) -> str:
+        """One-line execution-vehicle state of ``rank`` for diagnostics."""
+        return "in-process"
+
+    # ------------------------------------------------------------------
     # Operation execution
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -141,6 +141,17 @@ class SchedulerError(ApiError):
     """
 
 
+class WatchdogError(ApiError):
+    """A hang watchdog expired.
+
+    Raised when :meth:`repro.api.session.Job.run` exceeds its configured
+    per-step watchdog, or when the real-process backend's batch dispatch
+    receives no worker acknowledgement within its ack timeout.  The message
+    carries a per-rank state dump so a deadlocked rendezvous fails CI with a
+    diagnosis instead of hanging it.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Reliability-model errors
 # ---------------------------------------------------------------------------

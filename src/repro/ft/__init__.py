@@ -16,7 +16,10 @@
   failures to the configured protocol;
 * :mod:`~repro.ft.stack` — one-call construction of the whole protocol
   (log + store + checkpointer + recovery) from plain parameters, used by the
-  declarative policy of :mod:`repro.api`.
+  declarative policy of :mod:`repro.api`;
+* :mod:`~repro.ft.inject` — kill injection timed by completion-stream
+  position (backend-portable): real ``SIGKILL`` on the real-process backend,
+  simulated fail-stop elsewhere, with the POD_KILL/NODE_KILL taxonomy.
 """
 
 from repro.ft.checkpoint import (
@@ -26,6 +29,14 @@ from repro.ft.checkpoint import (
     InMemoryCheckpointStore,
 )
 from repro.ft.groups import buddy_assignment, group_spread, t_aware_groups
+from repro.ft.inject import (
+    FaultInjector,
+    FiredKill,
+    KillEvent,
+    KillKind,
+    KillPlan,
+    install_injector,
+)
 from repro.ft.protocols import (
     PROTOCOLS,
     ContinueDegraded,
@@ -72,4 +83,10 @@ __all__ = [
     "RecoveryManager",
     "FtStack",
     "build_ft_stack",
+    "KillKind",
+    "KillEvent",
+    "KillPlan",
+    "FiredKill",
+    "FaultInjector",
+    "install_injector",
 ]

@@ -421,6 +421,18 @@ class RmaRuntime:
             raise SynchronizationError("gsync while a lock is held")
         for rank in range(self.nprocs):
             self._complete_rank(rank)
+        # A failure that fired *during* the completion loop (an injected kill
+        # counts completions) must surface here, before any rank resumes past
+        # the collective: the closing barrier below only synchronizes ranks
+        # alive at its entry, so it cannot observe this one — and a rank that
+        # resumed would perform post-sync local stores the action log never
+        # sees, which a localized replay could then not reconstruct.
+        self.observe_failures()
+        failed = [r for r in self.cluster.failed_ranks() if r not in self.excised]
+        if failed:
+            raise ProcessFailedError(
+                failed[0], f"gsync observed failed ranks {failed} (fail-stop)"
+            )
         cost = self.cluster.costs.gsync(self.nprocs)
         self.cluster.barrier(cost=cost)  # raises on failed participants
         self.counters.on_gsync()
@@ -462,10 +474,16 @@ class RmaRuntime:
         return self.cluster.advance(rank, self.cluster.costs.compute(flops))
 
     def finalize(self) -> None:
-        """Finish the run: flush interceptor statistics (idempotent)."""
+        """Finish the run: flush interceptor statistics, release the backend.
+
+        Idempotent.  Backend teardown (worker processes, shared-memory
+        segments of the real-process backend) happens here; window contents
+        stay readable afterwards so results can still be gathered.
+        """
         if not self._finalized:
             self._finalized = True
             self.interceptors.on_finalize()
+            self.backend.close()
 
     # ------------------------------------------------------------------
     # Failure plumbing
@@ -477,7 +495,15 @@ class RmaRuntime:
         killed directly with :meth:`~repro.simulator.cluster.Cluster.fail_rank`
         (not just time-scheduled events): their window buffers are invalidated
         and every interceptor's ``on_failure_detected`` fires exactly once.
+
+        Backends whose ranks have a *real* execution vehicle (the OS worker
+        processes of the ``proc`` backend) report vehicle deaths here too —
+        folded into the cluster's failed set first, so a SIGKILLed worker
+        surfaces through exactly the same path as a scheduled failure.
         """
+        for rank in self.backend.poll_failures():
+            if self.cluster.is_alive(rank):
+                self.cluster.fail_rank(rank)
         self.cluster.check_failures(now if now is not None else self.cluster.elapsed())
         newly = sorted(set(self.cluster.failed_ranks()) - self._known_failed)
         for rank in newly:
@@ -490,12 +516,14 @@ class RmaRuntime:
         """Tell the runtime a replacement process took over ``rank``.
 
         Called by the recovery path (:mod:`repro.ft.recovery`) after the
-        cluster respawned the rank: resets the rank's epoch and counter state
-        and notifies interceptors.
+        cluster respawned the rank: resets the rank's epoch and counter state,
+        gives the backend a chance to provide a fresh execution vehicle (a new
+        worker process on the ``proc`` backend) and notifies interceptors.
         """
         self._known_failed.discard(rank)
         self.epochs.reset_rank(rank)
         self.counters.reset_rank(rank)
+        self.backend.respawn_rank(rank)
         self.interceptors.on_respawn(rank)
 
     def pending_nb_ops(self, src: int | None = None) -> int:
@@ -718,7 +746,22 @@ class RmaRuntime:
         self._charge_accrued(src, trg)
 
     def _complete_rank(self, src: int) -> None:
-        """Complete all outstanding ops of ``src`` across every target."""
+        """Complete all outstanding ops of ``src`` across every target.
+
+        Fail-stop: a process that died after issuing but before completing
+        performs no further operations — its queue stays pending for
+        recovery's discard.  The real-process backend enforces this naturally
+        (the dead worker cannot apply its batch); raising here makes the
+        in-process backends refuse at the exact same point, so completion
+        streams — and everything downstream, like the action log a localized
+        replay trusts — stay bit-identical across backends.
+        """
+        if (
+            src not in self.excised
+            and not self.cluster.is_alive(src)
+            and self.backend.pending_ops(src)
+        ):
+            raise ProcessFailedError(src)
         self._retire(self.backend.complete_rank(src))
         for key in [k for k in self._accrued if k[0] == src]:
             self._charge_accrued(*key)

@@ -174,11 +174,24 @@ class WindowRegistry:
     def __init__(self) -> None:
         self._windows: dict[str, Window] = {}
 
-    def create(self, name: str, size: int, dtype: np.dtype, nprocs: int) -> Window:
-        """Create and register a new window."""
+    def create(
+        self,
+        name: str,
+        size: int,
+        dtype: np.dtype,
+        nprocs: int,
+        *,
+        factory: type[Window] = Window,
+    ) -> Window:
+        """Create and register a new window.
+
+        ``factory`` lets a backend substitute a :class:`Window` subclass whose
+        buffers live in backend-owned storage (e.g. POSIX shared memory for
+        the real-process backend) while the registry bookkeeping stays common.
+        """
         if name in self._windows:
             raise WindowError(f"window {name!r} already exists")
-        window = Window(name=name, size=size, dtype=np.dtype(dtype), nprocs=nprocs)
+        window = factory(name=name, size=size, dtype=np.dtype(dtype), nprocs=nprocs)
         self._windows[name] = window
         return window
 

@@ -38,6 +38,7 @@ from repro.simulator.failures import FailureSchedule
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.api.scheduler import Kernel
     from repro.backends import Backend
+    from repro.ft.inject import KillPlan
 
 __all__ = [
     "Workload",
@@ -144,8 +145,17 @@ class Workload(abc.ABC):
         procs_per_node: int = 2,
         cost_model: CostModel | None = None,
         record: bool = False,
+        kill_plan: "KillPlan | None" = None,
+        watchdog: float | None = None,
     ) -> WorkloadRun:
-        """Launch a session, run the workload to completion, digest the result."""
+        """Launch a session, run the workload to completion, digest the result.
+
+        ``kill_plan`` installs a :class:`~repro.ft.inject.FaultInjector` for
+        the plan before the step loop starts: real SIGKILLs on the
+        real-process backend, simulated fail-stop elsewhere, at identical
+        completion-stream positions — the lever of the differential harness.
+        ``watchdog`` is passed through to :func:`~repro.api.session.launch`.
+        """
         with launch(
             self.nprocs,
             topology=Topology(procs_per_node=procs_per_node, cost_model=cost_model),
@@ -154,8 +164,13 @@ class Workload(abc.ABC):
             record=record,
             sync_each_step=self.sync_each_step,
             backend=backend,
+            watchdog=watchdog,
         ) as job:
             self.setup(job)
+            if kill_plan is not None:
+                from repro.ft.inject import install_injector
+
+                install_injector(job, kill_plan)
             report = job.run(self.kernel(), steps=self.steps)
             result = self.collect(job)
             resolved = job.resolved_interval

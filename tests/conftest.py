@@ -1,0 +1,45 @@
+"""Shared fixtures: process/shared-memory hygiene for the real-process tests."""
+
+import multiprocessing
+import os
+
+import pytest
+
+
+def _shm_segments():
+    """Names of POSIX shm segments currently visible (Linux: /dev/shm).
+
+    Python's :mod:`multiprocessing.shared_memory` names its segments
+    ``psm_*``; restricting to that prefix keeps unrelated system segments
+    (pulseaudio, browsers, ...) out of the diff.  Returns ``None`` where the
+    tmpfs view does not exist — the check then degrades to process hygiene
+    only.
+    """
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return None
+
+
+@pytest.fixture
+def proc_hygiene():
+    """Assert a test leaves no orphan worker processes and no leaked shm.
+
+    SIGKILL-heavy tests are exactly where teardown bugs hide: a worker that
+    survives its session or a shared-memory segment that never gets unlinked
+    would poison every later test (and, in CI, the machine).  Runs after the
+    test body, so a failing assertion here names the leaking test directly.
+    """
+    before = _shm_segments()
+    yield
+    # Reap zombies first: a SIGKILLed child stays in active_children() until
+    # someone joins it, which is bookkeeping, not a leak.
+    for child in multiprocessing.active_children():
+        child.join(timeout=2.0)
+    leaked = [p for p in multiprocessing.active_children() if p.is_alive()]
+    assert not leaked, f"orphan worker processes survived the test: {leaked}"
+    after = _shm_segments()
+    if before is not None and after is not None:
+        assert after - before == set(), (
+            f"leaked shared-memory segments: {sorted(after - before)}"
+        )

@@ -39,7 +39,10 @@ def test_available_lists_every_seam():
     assert available("workload") == ("allreduce", "kv", "stencil")
     assert available("store") == ("disk", "memory", "parity")
     assert available("recovery") == ("degraded", "global", "localized")
-    assert available("backend") == ("sim", "vector")
+    expected_backends = (
+        ("proc", "sim", "vector") if repro.proc_available() else ("sim", "vector")
+    )
+    assert available("backend") == expected_backends
 
 
 def test_available_rejects_unknown_kind():
