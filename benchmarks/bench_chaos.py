@@ -1,0 +1,120 @@
+"""Soak-engine benchmark: wall-clock cost and virtual-time leverage.
+
+Times the CI soak comparison (``repro.chaos.__main__.quick_spec``, three
+countermeasures on the simulated backend against one identical kill plan) and
+reports the *compression leverage* — how many virtual seconds of operation
+each wall-clock second buys.  That leverage is the whole point of the soak
+engine: an hour-equivalent campaign must stay a seconds-long CI job.
+
+The run first asserts that a repeated comparison produces a byte-identical
+report (seeded soaks are deterministic, so anything else is a bug), then
+records wall times.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py                  # full run
+    PYTHONPATH=src python benchmarks/bench_chaos.py \\
+        --check-baseline benchmarks/BENCH_chaos_wall.json            # wall gate
+
+The regression gate fails (exit 1) when the comparison wall time regressed by
+more than ``--max-regression`` (default 2x) against the checked-in baseline's
+``comparison_wall_s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.chaos import run_comparison
+from repro.chaos.__main__ import quick_spec
+from repro.chaos.report import report_json
+
+
+def run_benchmark() -> dict:
+    """Time the quick comparison; assert determinism across repeats."""
+    start = time.perf_counter()
+    results = run_comparison(quick_spec())
+    wall = time.perf_counter() - start
+    if report_json(run_comparison(quick_spec())) != report_json(results):
+        raise AssertionError(
+            "repeated soak comparison produced a different report — "
+            "seeded determinism is broken"
+        )
+    virtual = sum(r.metrics.total_s for r in results)
+    return {
+        "meta": {
+            "cells": len(results),
+            "compression": quick_spec().compression,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "comparison_wall_s": round(wall, 4),
+        "virtual_seconds_covered": round(virtual, 4),
+        "leverage_virtual_per_wall": round(virtual / wall, 2) if wall > 0 else None,
+        "report_byte_identical": True,
+    }
+
+
+def check_against_baseline(report: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Compare the comparison wall against the baseline; return failures."""
+    base_wall = baseline.get("comparison_wall_s")
+    if base_wall is None:
+        return [
+            "baseline has no 'comparison_wall_s' key — it is not a bench_chaos "
+            "report (gate against benchmarks/BENCH_chaos_wall.json, not the "
+            "soak report baseline)"
+        ]
+    wall = report["comparison_wall_s"]
+    if wall / base_wall > max_regression:
+        return [
+            f"soak comparison wall {wall:.3f}s is {wall / base_wall:.2f}x slower "
+            f"than baseline {base_wall:.3f}s (allowed {max_regression:.1f}x)"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_chaos_wall.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="compare against a baseline JSON and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="tolerated slowdown factor against the baseline (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"comparison wall {report['comparison_wall_s']:.3f}s covering "
+        f"{report['virtual_seconds_covered']:.1f} virtual seconds "
+        f"({report['leverage_virtual_per_wall']:.0f}x leverage)"
+    )
+    print(f"report written to {args.output}")
+
+    if args.check_baseline:
+        with open(args.check_baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(report, baseline, args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,11 @@ The package is layered bottom-up:
 * :mod:`repro.study` — the resilience-study engine on top of everything:
   a registry-resolved workload catalog, the analytic Young/Daly interval
   model behind ``FaultTolerancePolicy(interval="auto")``, and the seeded
-  Monte-Carlo campaign runner (``python -m repro.study``).
+  Monte-Carlo campaign runner (``python -m repro.study``);
+* :mod:`repro.chaos` — the long-horizon soak engine: accelerated virtual
+  time (``scaled_cost_model``), seeded failure scenarios, transition
+  monitors, MTTF/MTBF/MTTR/availability metrics and the cross-config
+  comparison CLI (``python -m repro.chaos``).
 
 Applications should program against :mod:`repro.api` (re-exported here);
 the lower layers remain public for protocol work and instrumentation.
@@ -30,6 +34,7 @@ from repro.api import (
     Job,
     JobReport,
     RankContext,
+    SessionObserver,
     Topology,
     WindowHandle,
     launch,
@@ -41,6 +46,15 @@ from repro.backends import (
     VectorBackend,
     make_backend,
     proc_available,
+)
+from repro.chaos import (
+    ChaosMetrics,
+    SoakResult,
+    SoakSpec,
+    compute_metrics,
+    run_comparison,
+    run_soak,
+    scaled_cost_model,
 )
 from repro.errors import ReproError
 from repro.ft import (
@@ -76,6 +90,14 @@ __all__ = [
     "WorkloadRun",
     "make_workload",
     "run_campaign",
+    "ChaosMetrics",
+    "SoakSpec",
+    "SoakResult",
+    "compute_metrics",
+    "run_soak",
+    "run_comparison",
+    "scaled_cost_model",
+    "SessionObserver",
     "Collective",
     "FaultTolerancePolicy",
     "Job",
@@ -107,4 +129,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"

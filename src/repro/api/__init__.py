@@ -33,7 +33,7 @@ plain per-rank kernels::
 from repro.api.context import Collective, RankContext, WindowHandle
 from repro.api.policy import FaultTolerancePolicy, Topology
 from repro.api.scheduler import CooperativeScheduler, Kernel
-from repro.api.session import Job, JobReport, launch
+from repro.api.session import Job, JobReport, SessionObserver, launch
 
 __all__ = [
     "Collective",
@@ -45,5 +45,6 @@ __all__ = [
     "Kernel",
     "Job",
     "JobReport",
+    "SessionObserver",
     "launch",
 ]

@@ -47,7 +47,33 @@ from repro.rma.window import Window
 from repro.simulator.failures import FailureSchedule
 from repro.simulator.metrics import MetricsSnapshot
 
-__all__ = ["Job", "JobReport", "launch"]
+__all__ = ["Job", "JobReport", "SessionObserver", "launch"]
+
+
+class SessionObserver:
+    """No-op base class for session lifecycle observers (chaos monitors).
+
+    Register instances with :meth:`Job.add_observer`.  Every hook carries the
+    job's *virtual* timestamp (``cluster.elapsed()``), so observer-built event
+    logs are byte-identical across backends and re-runs.  Hooks run inline in
+    the step loop and must not raise.
+    """
+
+    def on_step_completed(self, step: int, t: float) -> None:
+        """Step ``step`` finished (post-sync; counting re-executions)."""
+
+    def on_failure_detected(self, rank: int, step: int, t: float) -> None:
+        """A :class:`ProcessFailedError` for ``rank`` surfaced during ``step``."""
+
+    def on_recovery_started(self, step: int, t: float) -> None:
+        """The session is about to run its recovery protocol."""
+
+    def on_protocol_applied(self, outcome, resume_step: int, t: float) -> None:
+        """One recovery attempt completed with ``outcome``
+        (a :class:`~repro.ft.protocols.RecoveryOutcome`)."""
+
+    def on_recovery_completed(self, resume_step: int, t: float) -> None:
+        """Recovery finished; the step loop resumes at ``resume_step``."""
 
 
 @dataclass(frozen=True)
@@ -139,6 +165,15 @@ class Job:
         self._have_checkpoint = False
         self._steps_executed = 0
         self._closed = False
+        self._observers: list[SessionObserver] = []
+
+    def add_observer(self, observer: SessionObserver) -> None:
+        """Attach a :class:`SessionObserver` to the step loop's lifecycle."""
+        self._observers.append(observer)
+
+    def _notify(self, method: str, *args) -> None:
+        for observer in self._observers:
+            getattr(observer, method)(*args)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -271,14 +306,29 @@ class Job:
                         self._step_boundary_hook()
                     step += 1
                     self._steps_executed += 1
+                    if self._observers:
+                        self._notify("on_step_completed", step - 1, self.cluster.elapsed())
                     if measuring and not self.runtime.replaying:
                         self._resolve_auto_interval(
                             self.cluster.elapsed() - step_began, max_steps=steps
                         )
-                except ProcessFailedError:
+                except ProcessFailedError as failure:
+                    if self._observers:
+                        self._notify(
+                            "on_failure_detected",
+                            failure.rank,
+                            step,
+                            self.cluster.elapsed(),
+                        )
                     if self.ft is None:
                         raise
+                    if self._observers:
+                        self._notify("on_recovery_started", step, self.cluster.elapsed())
                     step = self._recover(start_step, step)
+                    if self._observers:
+                        self._notify(
+                            "on_recovery_completed", step, self.cluster.elapsed()
+                        )
         finally:
             self._disarm_watchdog()
         return self.report()
@@ -488,8 +538,14 @@ class Job:
             except ProcessFailedError:
                 continue
             if outcome.kind == "degraded":
+                if self._observers:
+                    self._notify(
+                        "on_protocol_applied", outcome, current_step, self.cluster.elapsed()
+                    )
                 return current_step
             step = int(outcome.tag)
+            if self._observers:
+                self._notify("on_protocol_applied", outcome, step, self.cluster.elapsed())
             if step < start_step:
                 # Only possible when the phase-opening checkpoint itself was
                 # interrupted: the restored state belongs to an earlier phase

@@ -1,0 +1,222 @@
+"""``python -m repro.chaos`` — run a long-horizon soak / chaos comparison.
+
+Examples::
+
+    # The default comparison: stencil under Poisson kills, all three
+    # countermeasures on identical schedules, markdown table on stdout:
+    python -m repro.chaos
+
+    # An hour-equivalent soak of the kv workload under node-level failures
+    # on the real-process backend, streaming the event log:
+    python -m repro.chaos --workload kv --scenario correlated \\
+        --backends proc --rounds 12 --compression 10000 \\
+        --events soak.jsonl --output soak.json
+
+    # The CI gate: sim + proc smoke, schema validation, baseline comparison:
+    python -m repro.chaos --quick --backends sim,proc \\
+        --check-baseline benchmarks/BENCH_chaos_baseline.json
+
+    # What can I put on each axis?
+    python -m repro.chaos --list
+
+Exit status 1 when a comparison invariant is violated or the baseline gate
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.metrics import write_events
+from repro.chaos.report import (
+    check_against_baseline,
+    check_chaos_invariants,
+    render_markdown,
+    report_json,
+)
+from repro.chaos.soak import SoakSpec, run_comparison
+from repro.registry import render_available
+
+__all__ = ["main"]
+
+
+def _csv(value: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in value.split(",") if item.strip())
+
+
+def quick_spec() -> SoakSpec:
+    """The seconds-long CI soak: small rounds, modest fault load."""
+    return SoakSpec(
+        workload="stencil",
+        scenario="poisson",
+        rounds=4,
+        interval=6,
+        rate_per_round=0.75,
+        seed=2026,
+        workload_params={"n_local": 16, "iters": 24},
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="long-horizon soak engine with accelerated virtual time",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every registered component of every kind and exit",
+    )
+    parser.add_argument("--workload", default="stencil", help="workload to soak")
+    parser.add_argument(
+        "--scenario", default="poisson",
+        help="failure scenario (poisson, correlated, cascade, flaky)",
+    )
+    parser.add_argument(
+        "--backends", type=_csv, default=("sim",),
+        help="comma-separated backends to compare on identical schedules",
+    )
+    parser.add_argument(
+        "--stores", type=_csv, default=("memory",),
+        help="comma-separated checkpoint stores to compare",
+    )
+    parser.add_argument(
+        "--countermeasures", type=_csv, default=("rollback", "replay", "excise"),
+        help="comma-separated countermeasures to compare (default: all three)",
+    )
+    parser.add_argument(
+        "--monitor", default="transitions",
+        help="chaos monitor flavor (transitions, episodes)",
+    )
+    parser.add_argument("--rounds", type=int, default=6, help="workload rounds to soak")
+    parser.add_argument(
+        "--interval", type=int, default=8, help="checkpoint interval in steps"
+    )
+    parser.add_argument(
+        "--compression", type=float, default=10_000.0,
+        help="virtual-time compression factor (default 10000x)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.75, metavar="KILLS_PER_ROUND",
+        help="expected kills per workload round (default 0.75)",
+    )
+    parser.add_argument("--seed", type=int, default=2026, help="soak master seed")
+    parser.add_argument("--nprocs", type=int, default=8, help="ranks per job")
+    parser.add_argument(
+        "--procs-per-node", type=int, default=2, help="ranks packed per node"
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "thread"), default="serial",
+        help="how comparison cells are dispatched (report is identical either way)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the seconds-long CI soak configuration",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH", help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="stream the first cell's JSONL event log here",
+    )
+    parser.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="write the markdown summary here (always printed to stdout)",
+    )
+    parser.add_argument(
+        "--check-baseline", default=None, metavar="PATH",
+        help="compare against a baseline JSON report and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="tolerated MTTR/unavailability ratio against the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-invariants", action="store_true",
+        help="do not gate on the comparison invariants (debugging only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print(render_available())
+        return 0
+    if args.quick:
+        base = quick_spec()
+    else:
+        base = SoakSpec(
+            workload=args.workload,
+            scenario=args.scenario,
+            monitor=args.monitor,
+            rounds=args.rounds,
+            interval=args.interval,
+            compression=args.compression,
+            rate_per_round=args.rate,
+            seed=args.seed,
+            nprocs=args.nprocs,
+            procs_per_node=args.procs_per_node,
+        )
+    results = run_comparison(
+        base,
+        countermeasures=args.countermeasures,
+        backends=args.backends,
+        stores=args.stores,
+        executor=args.executor,
+    )
+
+    markdown = render_markdown(results)
+    print(markdown, end="")
+    if args.events:
+        write_events(results[0].events, args.events)
+        print(f"event log written to {args.events}")
+    report = None
+    if args.output or args.check_baseline:
+        import json
+
+        report = json.loads(report_json(results))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report_json(results))
+        print(f"report written to {args.output}")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(markdown)
+        print(f"summary written to {args.markdown}")
+
+    status = 0
+    if not args.skip_invariants:
+        violations = check_chaos_invariants(results)
+        for violation in violations:
+            print(f"INVARIANT: {violation}", file=sys.stderr)
+        if violations:
+            status = 1
+        else:
+            print(
+                "invariants hold (replay MTTR < rollback; "
+                "excise availability > both)"
+            )
+    if args.check_baseline:
+        import json
+
+        with open(args.check_baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(
+            report, baseline, max_ratio=args.max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(
+                f"baseline check passed against {args.check_baseline} "
+                f"(tolerance {args.max_regression:.1f}x)"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,224 @@
+"""Chaos monitors — virtual-time failure/recovery transition detectors.
+
+A monitor is both a :class:`~repro.api.session.SessionObserver` (wired into
+the step loop via :meth:`~repro.api.session.Job.add_observer`) and a
+:class:`~repro.ft.inject.FaultInjector` listener (via
+:meth:`~repro.ft.inject.FaultInjector.add_listener`), so it sees both halves
+of every outage:
+
+* ``failure_initiated`` — the injector lands a kill (SIGKILL on ``proc``,
+  simulated fail-stop elsewhere), *before* the control plane notices;
+* ``failure_detected`` — the fail-stop surfaces in the step loop as a
+  :class:`~repro.errors.ProcessFailedError`;
+* ``recovery_started`` / ``protocol_applied`` / ``recovery_completed`` — the
+  countermeasure runs;
+* ``service_restored`` — the step the failure aborted completes again, i.e.
+  the job is back to where it was when the outage began.  This marker — not
+  the protocol's return — is what MTTR measures: a global rollback must
+  *re-execute* everything back to the crash step at full cost, a localized
+  replay fast-forwards suppressed actions at bookkeeping cost, a degraded
+  continuation just re-runs the aborted step with the survivors.  That
+  accounting is exactly what makes the protocols' recovery-time trade-off
+  visible.
+
+Every timestamp is the cluster's **virtual** ``elapsed()`` — no wall clock —
+so the event stream of a seeded soak is byte-identical across re-runs and
+across the ``sim`` and ``proc`` backends.  Monitors are registry-resolved
+under the kind ``"monitor"``: ``"transitions"`` streams every transition,
+``"episodes"`` additionally coalesces each outage into one summary event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.session import SessionObserver
+from repro.errors import ChaosError
+from repro.ft.inject import FiredKill
+from repro.registry import register_kind, resolve_component
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.api.session import Job
+
+__all__ = [
+    "ChaosMonitor",
+    "TransitionMonitor",
+    "EpisodeMonitor",
+    "MONITORS",
+    "make_monitor",
+]
+
+
+class ChaosMonitor(SessionObserver):
+    """Base monitor: the transition state machine and the event buffer.
+
+    Subclasses choose what extra structure to emit; the base class owns the
+    episode bookkeeping (outage open/close, crash-step tracking, round
+    markers).  Events are plain dicts — ``{"type": ..., "t": ...,
+    **fields}`` — appended in occurrence order, the exact stream
+    :func:`repro.chaos.metrics.write_events` serializes as JSONL.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        #: Steps per workload round; set by the soak driver so the monitor
+        #: can emit ``round_completed`` markers (0 disables them).
+        self.steps_per_round = 0
+        self._job: Job | None = None
+        self._episode: dict | None = None
+        self._max_step_completed = -1
+
+    # ------------------------------------------------------------------
+    def bind(self, job: "Job") -> None:
+        """Attach to ``job``'s cluster for virtual timestamps."""
+        self._job = job
+
+    def _now(self) -> float:
+        if self._job is None:
+            raise ChaosError("monitor used before bind(job)")
+        return self._job.cluster.elapsed()
+
+    def emit(self, type_: str, t: float, **fields) -> None:
+        """Append one event (used internally and by the soak driver)."""
+        self.events.append({"type": type_, "t": t, **fields})
+
+    # ------------------------------------------------------------------
+    # Injector listener
+    # ------------------------------------------------------------------
+    def on_kill(self, record: FiredKill) -> None:
+        """Injector callback: a planned event resolved (fired or skipped)."""
+        t = self._now()
+        if record.skipped:
+            self.emit(
+                "failure_skipped", t,
+                rank=record.event.rank, after_ops=record.event.after_ops,
+            )
+            return
+        self.emit(
+            "failure_initiated", t,
+            rank=record.event.rank,
+            victims=list(record.victims),
+            kind=record.event.kind.value,
+            after_ops=record.event.after_ops,
+            real=record.real,
+        )
+        if self._episode is None:
+            self._episode = {
+                "initiated_t": t,
+                "detected_t": None,
+                "crash_step": None,
+                "victims": list(record.victims),
+                "kills": 1,
+            }
+        else:
+            self._episode["kills"] += 1
+            for victim in record.victims:
+                if victim not in self._episode["victims"]:
+                    self._episode["victims"].append(victim)
+
+    # ------------------------------------------------------------------
+    # Session observer
+    # ------------------------------------------------------------------
+    def on_failure_detected(self, rank: int, step: int, t: float) -> None:
+        self.emit("failure_detected", t, rank=rank, step=step)
+        if self._episode is None:
+            # A failure the injector did not initiate (e.g. a virtual-time
+            # schedule): the detection opens the episode.
+            self._episode = {
+                "initiated_t": t, "detected_t": t,
+                "crash_step": step, "victims": [rank], "kills": 0,
+            }
+            return
+        if self._episode["detected_t"] is None:
+            self._episode["detected_t"] = t
+        crash = self._episode["crash_step"]
+        self._episode["crash_step"] = step if crash is None else max(crash, step)
+
+    def on_recovery_started(self, step: int, t: float) -> None:
+        self.emit("recovery_started", t, step=step)
+
+    def on_protocol_applied(self, outcome, resume_step: int, t: float) -> None:
+        self.emit(
+            "protocol_applied", t,
+            protocol=outcome.protocol,
+            kind=outcome.kind,
+            failed=list(outcome.failed),
+            restored_bytes=outcome.restored_bytes,
+            fallback=outcome.fallback,
+            resume_step=resume_step,
+        )
+
+    def on_recovery_completed(self, resume_step: int, t: float) -> None:
+        self.emit("recovery_completed", t, resume_step=resume_step)
+
+    def on_step_completed(self, step: int, t: float) -> None:
+        episode = self._episode
+        if (
+            episode is not None
+            and episode["crash_step"] is not None
+            and step >= episode["crash_step"]
+        ):
+            self._close_episode(step, t)
+        if (
+            self.steps_per_round > 0
+            and step > self._max_step_completed
+            and (step + 1) % self.steps_per_round == 0
+        ):
+            self.emit("round_completed", t, round=(step + 1) // self.steps_per_round - 1)
+        self._max_step_completed = max(self._max_step_completed, step)
+
+    # ------------------------------------------------------------------
+    def _close_episode(self, step: int, t: float) -> None:
+        episode = self._episode
+        assert episode is not None
+        self._episode = None
+        detected = episode["detected_t"]
+        self.emit(
+            "service_restored", t,
+            step=step,
+            mttr_s=(t - detected) if detected is not None else None,
+        )
+        self.episode_closed(episode, restored_t=t)
+
+    def episode_closed(self, episode: dict, *, restored_t: float) -> None:
+        """Subclass hook: one outage episode fully resolved."""
+
+
+class TransitionMonitor(ChaosMonitor):
+    """The plain monitor: every transition, nothing coalesced."""
+
+    name = "transitions"
+
+
+class EpisodeMonitor(TransitionMonitor):
+    """Transition stream plus one coalesced ``episode`` summary per outage."""
+
+    name = "episodes"
+
+    def episode_closed(self, episode: dict, *, restored_t: float) -> None:
+        self.emit(
+            "episode", restored_t,
+            initiated_t=episode["initiated_t"],
+            detected_t=episode["detected_t"],
+            restored_t=restored_t,
+            victims=episode["victims"],
+            kills=episode["kills"],
+        )
+
+
+#: Registry of constructable monitors, by name.
+MONITORS: dict[str, type[ChaosMonitor]] = {
+    TransitionMonitor.name: TransitionMonitor,
+    EpisodeMonitor.name: EpisodeMonitor,
+}
+register_kind("monitor", MONITORS)
+
+
+def make_monitor(spec: "str | ChaosMonitor | None", **params: object) -> ChaosMonitor:
+    """Resolve a monitor specification into a fresh (or given) instance."""
+    return resolve_component(
+        "monitor", spec, MONITORS, ChaosMonitor, ChaosError,
+        default=TransitionMonitor.name, **params,
+    )

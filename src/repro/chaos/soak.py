@@ -1,0 +1,501 @@
+"""The soak driver: open-ended workload rounds under accelerated virtual time.
+
+A *soak* runs one workload for many consecutive rounds inside a single
+session, with a scenario-generated kill plan striking throughout and a chaos
+monitor timestamping every transition.  Two levers make hour-scale campaigns
+finish in wall-clock seconds:
+
+* **time compression** — :func:`scaled_cost_model` multiplies every latency
+  of the :class:`~repro.simulator.costs.CostModel` by the compression factor
+  (and divides the bandwidths), so one simulated kernel step *charges* e.g.
+  10,000x more virtual time than the baseline machine would — MTTF and MTTR
+  come out in operationally meaningful units while the wall clock only pays
+  for the simulation itself;
+* **virtual clocks** — all timestamps advance from CostModel charges, never
+  from the wall, so the event log is deterministic.
+
+The *countermeasure* seam maps chaos-engineering vocabulary onto the existing
+:class:`~repro.ft.protocols.RecoveryProtocol` strategies: ``"rollback"`` →
+global rollback, ``"replay"`` → localized log replay, ``"excise"`` → degraded
+continuation.  :func:`run_comparison` pits countermeasures (and backends and
+stores) against **identical** failure schedules — the plan's seed entropy
+deliberately excludes those axes — which is what makes the availability /
+MTTR trade-off between the protocols quantitatively comparable cell by cell.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.api.policy import FaultTolerancePolicy, Topology
+from repro.api.session import launch
+from repro.chaos.metrics import ChaosMetrics, compute_metrics, write_events
+from repro.chaos.monitor import make_monitor
+from repro.chaos.scenarios import make_scenario
+from repro.errors import (
+    CatastrophicFailure,
+    ChaosError,
+    RecoveryError,
+)
+from repro.ft.inject import FaultInjector, KillPlan, install_injector
+from repro.registry import available, plural, register_kind, resolve_component
+from repro.simulator.costs import CostModel, cray_xe6_like
+from repro.study.model import IntervalModel
+from repro.study.workloads import Workload, make_workload
+
+__all__ = [
+    "Countermeasure",
+    "Rollback",
+    "Replay",
+    "Excise",
+    "COUNTERMEASURES",
+    "make_countermeasure",
+    "SoakSpec",
+    "SoakResult",
+    "scaled_cost_model",
+    "calibrate_round",
+    "run_soak",
+    "run_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# Countermeasures: chaos vocabulary over the recovery-protocol strategies
+# ----------------------------------------------------------------------
+class Countermeasure:
+    """One catalog entry: how the job answers the failures thrown at it.
+
+    A countermeasure is a thin, declarative wrapper building the
+    :class:`~repro.api.policy.FaultTolerancePolicy` whose ``recovery``
+    strategy implements it — the soak engine adds no recovery machinery of
+    its own, it *names* the existing protocols in reliability terms.
+    """
+
+    #: Registry name ("rollback", "replay", "excise").
+    name: str = "abstract"
+    #: The recovery-protocol registry name this countermeasure maps onto.
+    recovery: str = "global"
+
+    def policy(self, *, store: str, interval: int) -> FaultTolerancePolicy:
+        """The fault-tolerance policy realizing this countermeasure."""
+        return FaultTolerancePolicy(
+            interval=interval, store=store, recovery=self.recovery
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(recovery={self.recovery!r})"
+
+
+class Rollback(Countermeasure):
+    """Coordinated rollback of every rank to the last checkpoint (§4.2)."""
+
+    name = "rollback"
+    recovery = "global"
+
+
+class Replay(Countermeasure):
+    """Only failed ranks restore; survivors fast-forward the action log (§7)."""
+
+    name = "replay"
+    recovery = "localized"
+
+
+class Excise(Countermeasure):
+    """Failed ranks are removed; survivors continue best-effort (degraded)."""
+
+    name = "excise"
+    recovery = "degraded"
+
+
+#: Registry of constructable countermeasures, by name.
+COUNTERMEASURES: dict[str, type[Countermeasure]] = {
+    Rollback.name: Rollback,
+    Replay.name: Replay,
+    Excise.name: Excise,
+}
+register_kind("countermeasure", COUNTERMEASURES)
+
+
+def make_countermeasure(spec: "str | Countermeasure | None") -> Countermeasure:
+    """Resolve a countermeasure specification (default ``"rollback"``)."""
+    return resolve_component(
+        "countermeasure", spec, COUNTERMEASURES, Countermeasure, ChaosError,
+        default=Rollback.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Time compression
+# ----------------------------------------------------------------------
+#: CostModel fields denominated in seconds (scaled *up* by compression).
+_TIME_FIELDS = (
+    "issue_overhead", "network_latency", "atomic_latency", "memory_latency",
+    "barrier_base", "barrier_per_level", "flush_latency", "lock_latency",
+    "lock_contention", "pfs_latency", "flop_time", "hash_time",
+    "log_bookkeeping",
+)
+#: CostModel fields denominated in bytes/second (scaled *down*).
+_BANDWIDTH_FIELDS = ("network_bandwidth", "memory_bandwidth", "pfs_bandwidth")
+
+
+def scaled_cost_model(
+    base: CostModel | None = None, *, compression: float
+) -> CostModel:
+    """``base`` with every charge stretched by ``compression``.
+
+    Multiplying the latencies and dividing the bandwidths by the same factor
+    preserves every *relative* cost — the machine is the same machine, its
+    virtual clock just ticks ``compression`` times faster per unit of work —
+    so compressed soaks exercise exactly the protocol behavior of the
+    uncompressed model while reporting hour-scale MTTF/MTTR numbers.
+    """
+    if compression <= 0:
+        raise ChaosError("time compression must be positive")
+    base = base if base is not None else cray_xe6_like()
+    overrides: dict = {f: getattr(base, f) * compression for f in _TIME_FIELDS}
+    overrides |= {f: getattr(base, f) / compression for f in _BANDWIDTH_FIELDS}
+    overrides["name"] = f"{base.name}-x{compression:g}"
+    return base.with_overrides(**overrides)
+
+
+# ----------------------------------------------------------------------
+# The soak specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SoakSpec:
+    """Declarative description of one soak cell.
+
+    The kill plan is a pure function of ``(seed, workload, scenario,
+    rate_per_round)`` — deliberately **not** of the countermeasure, store or
+    backend — so comparison cells face identical failure schedules.
+    """
+
+    workload: str = "stencil"
+    backend: str = "sim"
+    store: str = "memory"
+    countermeasure: str = "rollback"
+    scenario: str = "poisson"
+    monitor: str = "transitions"
+    #: Consecutive workload rounds the soak drives (one long session).
+    rounds: int = 6
+    #: Coordinated-checkpoint interval in steps (numeric only: an open-ended
+    #: soak must keep checkpointing, so ``None``/``"auto"`` are not options).
+    interval: int = 8
+    #: Virtual-time compression factor applied to the cost model.
+    compression: float = 10_000.0
+    #: Expected kills per workload round (scenario intensity).
+    rate_per_round: float = 0.75
+    seed: int = 2026
+    nprocs: int = 8
+    procs_per_node: int = 2
+    watchdog: float | None = None
+    workload_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for kind, name in (
+            ("workload", self.workload),
+            ("backend", self.backend),
+            ("store", self.store),
+            ("countermeasure", self.countermeasure),
+            ("scenario", self.scenario),
+            ("monitor", self.monitor),
+        ):
+            known = available(kind)
+            if name not in known:
+                listing = ", ".join(repr(k) for k in known)
+                raise ChaosError(
+                    f"unknown {kind} {name!r} in soak spec; "
+                    f"registered {plural(kind)} are: {listing}"
+                )
+        if self.rounds < 1:
+            raise ChaosError("a soak needs at least one round")
+        if not isinstance(self.interval, int) or self.interval < 1:
+            raise ChaosError("soak checkpoint interval must be a positive step count")
+        if self.compression <= 0:
+            raise ChaosError("time compression must be positive")
+        if self.rate_per_round < 0:
+            raise ChaosError("rate_per_round must be non-negative")
+        if self.nprocs < 2 or self.procs_per_node < 1:
+            raise ChaosError("soaks need nprocs >= 2 and procs_per_node >= 1")
+
+    @property
+    def cell_key(self) -> str:
+        return (
+            f"{self.workload}/{self.scenario}/{self.backend}"
+            f"/{self.store}/{self.countermeasure}"
+        )
+
+
+@dataclass(frozen=True)
+class SoakResult:
+    """Everything one soak produced, ready for reporting and gating."""
+
+    spec: SoakSpec
+    #: The full transition stream (JSONL-serializable dicts, virtual time).
+    events: list[dict]
+    #: The reliability summary computed from :attr:`events`.
+    metrics: ChaosMetrics
+    #: The generated kill plan as ``[after_ops, rank, kind]`` triples.
+    plan: list[list]
+    #: Calibrated completion-stream length of one failure-free round.
+    ops_per_round: int
+    #: Virtual seconds of one failure-free round (compressed units).
+    round_seconds: float
+    #: Session counters at the end of the soak.
+    checkpoints: int
+    recoveries: int
+    fallbacks: int
+    excised_ranks: int
+    steps_executed: int
+    elapsed_s: float
+    #: Bit-exact digest of the final workload state (None if aborted).
+    digest: str | None
+    #: Exception class name if the soak ended early, else None.
+    aborted: str | None
+    #: Analytic §5–§7-model predictions for this cell.
+    predicted_mttr_s: float
+    predicted_availability: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (byte-identical across re-runs: no wall clock)."""
+        return {
+            "spec": {
+                "workload": self.spec.workload,
+                "backend": self.spec.backend,
+                "store": self.spec.store,
+                "countermeasure": self.spec.countermeasure,
+                "scenario": self.spec.scenario,
+                "monitor": self.spec.monitor,
+                "rounds": self.spec.rounds,
+                "interval": self.spec.interval,
+                "compression": self.spec.compression,
+                "rate_per_round": self.spec.rate_per_round,
+                "seed": self.spec.seed,
+                "nprocs": self.spec.nprocs,
+                "procs_per_node": self.spec.procs_per_node,
+            },
+            "plan": self.plan,
+            "ops_per_round": self.ops_per_round,
+            "round_seconds": self.round_seconds,
+            "metrics": self.metrics.as_dict(),
+            "checkpoints": self.checkpoints,
+            "recoveries": self.recoveries,
+            "fallbacks": self.fallbacks,
+            "excised_ranks": self.excised_ranks,
+            "steps_executed": self.steps_executed,
+            "elapsed_s": self.elapsed_s,
+            "digest": self.digest,
+            "aborted": self.aborted,
+            "predicted_mttr_s": self.predicted_mttr_s,
+            "predicted_availability": self.predicted_availability,
+            "events": self.events,
+        }
+
+
+# ----------------------------------------------------------------------
+# Calibration and plan generation
+# ----------------------------------------------------------------------
+def calibrate_round(
+    workload: Workload, *, procs_per_node: int, cost_model: CostModel
+) -> tuple[int, float]:
+    """One failure-free probe round: ``(ops_per_round, round_seconds)``.
+
+    The probe always runs on the ``sim`` backend: the completion stream is
+    contractually identical across backends and checkpoint/store traffic does
+    not pass through ``after_comm``, so the calibrated operation count holds
+    for every backend, store and countermeasure of a comparison — one probe
+    per workload serves the whole grid.
+    """
+    with launch(
+        workload.nprocs,
+        topology=Topology(procs_per_node=procs_per_node, cost_model=cost_model),
+        sync_each_step=workload.sync_each_step,
+        backend="sim",
+    ) as job:
+        workload.setup(job)
+        counter = FaultInjector(KillPlan([]))
+        job.runtime.add_interceptor(counter)
+        report = job.run(workload.kernel(), steps=workload.steps)
+    return counter.ops_seen, report.elapsed
+
+
+def _plan_seed(spec: SoakSpec) -> np.random.SeedSequence:
+    """Schedule entropy: seed + workload + scenario — nothing else.
+
+    Backend, store and countermeasure are deliberately excluded so that
+    comparison cells (and sim-vs-proc differential runs) draw the *same*
+    plan; the string axes enter as stable CRCs, not Python hashes, so the
+    entropy is identical across processes and machines.
+    """
+    return np.random.SeedSequence((
+        spec.seed,
+        zlib.crc32(spec.workload.encode()),
+        zlib.crc32(spec.scenario.encode()),
+    ))
+
+
+def build_plan(spec: SoakSpec, *, ops_per_round: int, steps_per_round: int) -> KillPlan:
+    """The spec's kill plan (pure function of spec + calibrated shape)."""
+    scenario = make_scenario(spec.scenario, rate_per_round=spec.rate_per_round)
+    return scenario.plan(
+        _plan_seed(spec),
+        nprocs=spec.nprocs,
+        ops_per_round=ops_per_round,
+        steps_per_round=steps_per_round,
+        rounds=spec.rounds,
+        procs_per_node=spec.procs_per_node,
+    )
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+def run_soak(spec: SoakSpec, *, events_path: str | None = None) -> SoakResult:
+    """Run one soak cell to completion and compute its reliability metrics.
+
+    The whole soak is **one** session and one :meth:`~repro.api.session.Job.run`
+    of ``rounds × steps`` job steps (every catalog kernel is a pure function
+    of its step number, so rounds are just step ranges); a rollback therefore
+    never crosses a phase boundary.  A failure mode recovery cannot absorb —
+    a rank lost together with its buddy, or no usable checkpoint — ends the
+    soak early with a ``soak_aborted`` event rather than raising: surviving
+    *is* the measurement.
+    """
+    workload = make_workload(
+        spec.workload, nprocs=spec.nprocs, **dict(spec.workload_params)
+    )
+    cost = scaled_cost_model(compression=spec.compression)
+    ops_per_round, round_seconds = calibrate_round(
+        workload, procs_per_node=spec.procs_per_node, cost_model=cost
+    )
+    plan = build_plan(
+        spec, ops_per_round=ops_per_round, steps_per_round=workload.steps
+    )
+    countermeasure = make_countermeasure(spec.countermeasure)
+    monitor = make_monitor(spec.monitor)
+    monitor.steps_per_round = workload.steps
+    total_steps = spec.rounds * workload.steps
+
+    aborted: str | None = None
+    digest: str | None = None
+    with launch(
+        spec.nprocs,
+        topology=Topology(procs_per_node=spec.procs_per_node, cost_model=cost),
+        ft=countermeasure.policy(store=spec.store, interval=spec.interval),
+        sync_each_step=workload.sync_each_step,
+        backend=spec.backend,
+        watchdog=spec.watchdog,
+    ) as job:
+        workload.setup(job)
+        bytes_per_rank = sum(w.nbytes_per_rank for w in job.runtime.windows.all())
+        monitor.bind(job)
+        monitor.emit(
+            "soak_started", 0.0,
+            workload=spec.workload, backend=spec.backend, store=spec.store,
+            countermeasure=spec.countermeasure, scenario=spec.scenario,
+            rounds=spec.rounds, steps_per_round=workload.steps,
+            planned_kills=len(plan), compression=spec.compression,
+            seed=spec.seed, nprocs=spec.nprocs,
+        )
+        injector = install_injector(job, plan)
+        injector.add_listener(monitor.on_kill)
+        job.add_observer(monitor)
+        try:
+            report = job.run(workload.kernel(), steps=total_steps)
+        except (RecoveryError, CatastrophicFailure) as exc:
+            aborted = type(exc).__name__
+            monitor.emit("soak_aborted", job.cluster.elapsed(), error=aborted)
+            report = job.report()
+        if aborted is None:
+            digest = workload.digest(workload.collect(job))
+        monitor.emit(
+            "soak_completed", job.cluster.elapsed(),
+            steps_executed=report.steps_executed,
+            kills_fired=len(injector.fired),
+            kills_skipped=len(injector.skipped),
+        )
+
+    metrics = compute_metrics(monitor.events)
+    if events_path is not None:
+        write_events(monitor.events, events_path)
+
+    # The analytic prediction for this cell: the §5–§7 interval model fed the
+    # *planned* failure rate, so predicted and observed MTTR/availability can
+    # be judged against each other in the report.
+    total_seconds = spec.rounds * round_seconds
+    rate = len(plan) / total_seconds if total_seconds > 0 and len(plan) else 0.0
+    model = IntervalModel(
+        cost_model=cost,
+        nprocs=spec.nprocs,
+        bytes_per_rank=bytes_per_rank,
+        store=spec.store,
+        rates_per_level={0: rate} if rate else {},
+    )
+    step_seconds = round_seconds / workload.steps
+    recovery = countermeasure.recovery
+    predicted_mttr = model.predicted_mttr_seconds(
+        recovery, step_seconds=step_seconds, interval_steps=spec.interval
+    )
+    predicted_avail = model.predicted_availability(
+        recovery, step_seconds=step_seconds, interval_steps=spec.interval
+    )
+
+    return SoakResult(
+        spec=spec,
+        events=monitor.events,
+        metrics=metrics,
+        plan=[[e.after_ops, e.rank, e.kind.value] for e in plan],
+        ops_per_round=ops_per_round,
+        round_seconds=round_seconds,
+        checkpoints=int(report.checkpoints),
+        recoveries=int(report.recoveries),
+        fallbacks=int(report.recovery_fallbacks),
+        excised_ranks=int(report.excised_ranks),
+        steps_executed=int(report.steps_executed),
+        elapsed_s=report.elapsed,
+        digest=digest,
+        aborted=aborted,
+        predicted_mttr_s=predicted_mttr,
+        predicted_availability=predicted_avail,
+    )
+
+
+def run_comparison(
+    base: SoakSpec,
+    *,
+    countermeasures: Sequence[str] = ("rollback", "replay", "excise"),
+    backends: Sequence[str] | None = None,
+    stores: Sequence[str] | None = None,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> list[SoakResult]:
+    """Run the cross-config comparison grid against identical kill plans.
+
+    Every cell reuses ``base``'s seed, workload and scenario, so the plan —
+    a function of exactly those — is identical across the grid; only the
+    countermeasure/store/backend axes vary.  Cells are independent sessions,
+    so ``executor="thread"`` parallelizes them while the assembled result
+    list (and hence the report) stays byte-identical to a serial run.
+    """
+    backends = tuple(backends) if backends is not None else (base.backend,)
+    stores = tuple(stores) if stores is not None else (base.store,)
+    countermeasures = tuple(countermeasures)
+    if not countermeasures or not backends or not stores:
+        raise ChaosError("comparison axes must be non-empty")
+    specs = [
+        replace(base, backend=b, store=s, countermeasure=c)
+        for b in backends
+        for s in stores
+        for c in countermeasures
+    ]
+    if executor == "serial":
+        return [run_soak(spec) for spec in specs]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(run_soak, specs))
+    raise ChaosError(f"unknown executor {executor!r}; choose 'serial' or 'thread'")

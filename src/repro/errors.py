@@ -180,3 +180,15 @@ class StudyError(ReproError):
 
 class CampaignError(StudyError):
     """A Monte-Carlo campaign specification is inconsistent or empty."""
+
+
+# ---------------------------------------------------------------------------
+# Chaos/soak errors
+# ---------------------------------------------------------------------------
+
+
+class ChaosError(ReproError):
+    """Misuse of the chaos/soak subsystem (:mod:`repro.chaos`).
+
+    Raised for unknown scenario/monitor/countermeasure names, invalid soak
+    specifications, and malformed chaos event logs."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 import enum
 import os
 import signal
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -145,13 +146,23 @@ class KillPlan:
 
 @dataclass(frozen=True)
 class FiredKill:
-    """Record of one fired event: who actually died, and how."""
+    """Record of one fired event: who actually died, and how.
+
+    An event whose victims were all already dead or excised is *skipped*;
+    listeners still see it, as a record with an empty ``victims`` tuple, so
+    chaos monitors can account for every planned event.
+    """
 
     event: KillEvent
     victims: tuple[int, ...]
     #: True when real SIGKILLs were delivered (proc backend), False when the
     #: deaths were simulated by marking the cluster.
     real: bool
+
+    @property
+    def skipped(self) -> bool:
+        """Whether the event struck no one (victims all dead or excised)."""
+        return not self.victims
 
 
 class FaultInjector(RmaInterceptor):
@@ -179,8 +190,20 @@ class FaultInjector(RmaInterceptor):
         self.ops_seen = 0
         self.respawns_seen = 0
         self.fired: list[FiredKill] = []
+        self.skipped: list[KillEvent] = []
         self._pending: list[KillEvent] = list(plan.events)
+        self._listeners: list[Callable[[FiredKill], None]] = []
         self._runtime: RmaRuntime | None = None
+
+    def add_listener(self, listener: Callable[[FiredKill], None]) -> None:
+        """Observe every planned event as it resolves (fired or skipped).
+
+        Listeners receive the :class:`FiredKill` record at the exact stream
+        position the kill lands — before the failure surfaces through the
+        fail-stop path — which is what lets a chaos monitor timestamp
+        ``failure_initiated`` separately from ``failure_detected``.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     def attach(self, runtime: "RmaRuntime") -> None:
@@ -225,6 +248,10 @@ class FaultInjector(RmaInterceptor):
             if cluster.is_alive(r) and r not in runtime.excised
         ]
         if not victims:
+            self.skipped.append(event)
+            record = FiredKill(event=event, victims=(), real=False)
+            for listener in self._listeners:
+                listener(record)
             return
         backend = runtime.backend
         real = hasattr(backend, "worker_pid") and hasattr(backend, "wait_dead")
@@ -243,7 +270,10 @@ class FaultInjector(RmaInterceptor):
             if cluster.is_alive(rank):
                 cluster.fail_rank(rank)
             cluster.metrics.incr("inject.kills", rank=rank)
-        self.fired.append(FiredKill(event=event, victims=tuple(victims), real=real))
+        record = FiredKill(event=event, victims=tuple(victims), real=real)
+        self.fired.append(record)
+        for listener in self._listeners:
+            listener(record)
 
 
 def install_injector(

@@ -26,7 +26,14 @@ from typing import TypeVar
 
 T = TypeVar("T")
 
-__all__ = ["available", "plural", "register_kind", "resolve_component"]
+__all__ = [
+    "all_kinds",
+    "available",
+    "plural",
+    "register_kind",
+    "render_available",
+    "resolve_component",
+]
 
 #: kind -> (name -> class), populated by :func:`register_kind`.
 _KINDS: dict[str, dict[str, type]] = {}
@@ -38,7 +45,17 @@ _BUILTIN_KIND_MODULES = (
     "repro.ft.stores",
     "repro.ft.protocols",
     "repro.study.workloads",
+    "repro.chaos.scenarios",
+    "repro.chaos.monitor",
+    "repro.chaos.soak",
 )
+
+
+def _import_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_KIND_MODULES:
+        importlib.import_module(module)
 
 
 def register_kind(kind: str, registry: dict[str, type]) -> None:
@@ -59,10 +76,7 @@ def available(kind: str) -> tuple[str, ...]:
     Raises :class:`KeyError` naming the known kinds for an unknown one.
     """
     if kind not in _KINDS:
-        import importlib
-
-        for module in _BUILTIN_KIND_MODULES:
-            importlib.import_module(module)
+        _import_builtins()
     registry = _KINDS.get(kind)
     if registry is None:
         known = ", ".join(repr(name) for name in sorted(_KINDS))
@@ -76,6 +90,24 @@ def _known_names(kind: str, registry: dict[str, type[T]]) -> tuple[str, ...]:
     if _KINDS.get(kind) is registry:
         return available(kind)
     return tuple(sorted(registry))
+
+
+def all_kinds() -> tuple[str, ...]:
+    """Sorted names of every registered seam kind (imports the built-ins)."""
+    _import_builtins()
+    return tuple(sorted(_KINDS))
+
+
+def render_available() -> str:
+    """Multi-line listing of every kind and its registered names.
+
+    Shared by the ``--list`` flags of ``python -m repro.study`` and
+    ``python -m repro.chaos`` so both CLIs print the same catalog.
+    """
+    lines = []
+    for kind in all_kinds():
+        lines.append(f"{plural(kind)}: {', '.join(available(kind))}")
+    return "\n".join(lines)
 
 
 def plural(kind: str) -> str:

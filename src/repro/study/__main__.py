@@ -15,6 +15,9 @@ Examples::
     python -m repro.study --quick \\
         --check-baseline benchmarks/BENCH_study_baseline.json
 
+    # What can I put on each axis?
+    python -m repro.study --list
+
 Exit status 1 when an invariant is violated or the baseline gate fails.
 """
 
@@ -23,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.registry import available
+from repro.registry import available, render_available
 from repro.study.campaign import (
     CampaignSpec,
     check_against_baseline,
@@ -56,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.study",
         description="Monte-Carlo resilience-study campaign runner",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every registered component of every kind and exit",
     )
     parser.add_argument(
         "--workloads", type=_csv, default=("stencil", "allreduce"),
@@ -122,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.list:
+        print(render_available())
+        return 0
     if args.quick:
         spec = quick_spec()
     else:

@@ -312,6 +312,39 @@ def _run_trial(args: tuple[CampaignSpec, _Cell, dict, int]) -> dict:
     return record
 
 
+def _run_trial_batch(args: tuple[CampaignSpec, _Cell, dict, int, int]) -> list[dict]:
+    """Run a contiguous range of one cell's trials; return their records.
+
+    Batching is what makes the process executor worth having: the
+    ``(spec, cell, baseline)`` payload crosses the process boundary once per
+    chunk instead of once per trial, and only the compact per-trial record
+    dicts travel back.  Trials inside a chunk run in submission order, so the
+    flattened result is byte-identical to the serial sweep.
+    """
+    spec, cell, baseline, start, stop = args
+    return [_run_trial((spec, cell, baseline, trial)) for trial in range(start, stop)]
+
+
+def _trial_batches(
+    spec: CampaignSpec, cells: list[_Cell], baselines: list[dict], workers: int
+) -> list[tuple[CampaignSpec, _Cell, dict, int, int]]:
+    """Chunk every cell's trials into contiguous per-worker batches.
+
+    One batch per cell is enough when there are at least as many cells as
+    workers; with a wide pool and few cells each cell is split further so no
+    worker sits idle.  Chunk boundaries never affect results — only how the
+    identical trial sequence is sliced across dispatches.
+    """
+    cells_n = max(1, len(cells))
+    chunks_per_cell = max(1, min(spec.trials, -(-workers // cells_n)))
+    chunk = -(-spec.trials // chunks_per_cell)
+    return [
+        (spec, cell, baseline, start, min(start + chunk, spec.trials))
+        for cell, baseline in zip(cells, baselines)
+        for start in range(0, spec.trials, chunk)
+    ]
+
+
 def _summarize_cell(
     spec: CampaignSpec, cell: _Cell, baseline: dict, trials: list[dict]
 ) -> dict:
@@ -395,6 +428,9 @@ def run_campaign(
     ``"serial"``, ``"thread"`` (default) or ``"process"`` — each trial is an
     isolated deterministic session, so the three produce **byte-identical**
     reports (``benchmarks/bench_study.py`` measures the wall-clock gap).
+    Trials are submitted as contiguous per-cell chunks rather than one task
+    per trial, so the process pool pickles each cell's payload once per chunk
+    and receives only compact record dicts back.
     """
     cells = _cells(spec)
     pool = _make_executor(executor, max_workers)
@@ -430,12 +466,14 @@ def run_campaign(
             ),
         ))
         baselines = [baselines_by_key[_ft_free_key(cell)] for cell in cells]
-        trial_args = [
-            (spec, cell, baseline, trial)
-            for cell, baseline in zip(cells, baselines)
-            for trial in range(spec.trials)
+        workers = 1 if pool is None else (getattr(pool, "_max_workers", None) or 1)
+        trial_records = [
+            record
+            for batch in dispatch(
+                _run_trial_batch, _trial_batches(spec, cells, baselines, workers)
+            )
+            for record in batch
         ]
-        trial_records = dispatch(_run_trial, trial_args)
     finally:
         if pool is not None:
             pool.shutdown()

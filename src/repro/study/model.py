@@ -40,6 +40,7 @@ from repro.simulator.costs import CostModel
 
 __all__ = [
     "IntervalModel",
+    "REPLAY_COST_FRACTION",
     "checkpoint_seconds",
     "restart_seconds",
     "system_failure_rate",
@@ -51,6 +52,13 @@ __all__ = [
 #: Group size assumed for the parity store's cost estimate when none is given
 #: (matches :attr:`repro.ft.stores.ParityStore.DEFAULT_MAX_GROUP`).
 DEFAULT_PARITY_GROUP = 4
+
+#: Fraction of a re-executed step's full cost that a localized *replay* pays:
+#: suppressed actions are charged bookkeeping instead of network transfers
+#: (:attr:`repro.simulator.costs.CostModel.log_bookkeeping` vs
+#: :meth:`~repro.simulator.costs.CostModel.remote_transfer`), so fast-forward
+#: rework is roughly an order of magnitude cheaper than global re-execution.
+REPLAY_COST_FRACTION = 0.15
 
 
 def system_failure_rate(rates_per_level: Mapping[int, float]) -> float:
@@ -318,3 +326,74 @@ class IntervalModel:
     ) -> list[float]:
         """Predicted overhead at each step interval — §5-style store curves."""
         return [self.predicted_overhead(steps, step_seconds) for steps in intervals_steps]
+
+    # ------------------------------------------------------------------
+    # Predicted repair time and availability (the chaos layer's yardstick)
+    # ------------------------------------------------------------------
+    def predicted_mttr_seconds(
+        self,
+        recovery: str,
+        *,
+        step_seconds: float,
+        interval_steps: int | None,
+    ) -> float:
+        """Predicted detection → service-restored time for one failure.
+
+        *Repair* ends when the crash-aborted step completes again (the chaos
+        monitor's ``service_restored`` marker), so the estimate prices the
+        protocol's rework, not just its restore:
+
+        * ``"global"`` — restore ``R`` plus re-executing the expected
+          half-interval of lost work at full cost, plus the aborted step;
+        * ``"localized"`` — restore ``R`` plus the same rework at
+          :data:`REPLAY_COST_FRACTION` of full cost (suppressed actions are
+          bookkeeping, not transfers), plus the aborted step;
+        * ``"degraded"`` — no restore at all: a membership barrier and the
+          aborted step re-run by the survivors.
+
+        An unprotected interval (``None`` — only the initial checkpoint) has
+        expected rework of half the MTBF-worth of steps.
+        """
+        if step_seconds <= 0:
+            raise StudyError("step_seconds must be positive")
+        if interval_steps is not None and interval_steps < 1:
+            raise StudyError("interval_steps must be at least 1 (or None)")
+        if interval_steps is not None:
+            lost_work = interval_steps * step_seconds / 2.0
+        else:
+            mtbf = self.mtbf_seconds
+            lost_work = 0.0 if math.isinf(mtbf) else mtbf / 2.0
+        restart = self.restart_cost_seconds
+        barrier = self.cost_model.barrier(self.nprocs)
+        if recovery == "global":
+            return restart + lost_work + step_seconds
+        if recovery == "localized":
+            return restart + REPLAY_COST_FRACTION * lost_work + step_seconds
+        if recovery == "degraded":
+            return barrier + step_seconds
+        known = ", ".join(repr(name) for name in available("recovery"))
+        raise StudyError(
+            f"no analytic MTTR model for recovery {recovery!r}; "
+            f"modelled recoveries are: {known}"
+        )
+
+    def predicted_availability(
+        self,
+        recovery: str,
+        *,
+        step_seconds: float,
+        interval_steps: int | None,
+    ) -> float:
+        """Predicted steady-state availability ``M / (M + MTTR)``.
+
+        ``M`` is the configured MTBF; a failure-free machine is fully
+        available.  Compared against the chaos soak's *observed*
+        availability in the ``python -m repro.chaos`` report.
+        """
+        mtbf = self.mtbf_seconds
+        if math.isinf(mtbf):
+            return 1.0
+        mttr = self.predicted_mttr_seconds(
+            recovery, step_seconds=step_seconds, interval_steps=interval_steps
+        )
+        return mtbf / (mtbf + mttr)

@@ -1,0 +1,492 @@
+"""Tests for the chaos/soak engine: scenarios, monitors, metrics, comparisons."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends.proc import proc_available
+from repro.chaos import (
+    EpisodeMonitor,
+    SoakSpec,
+    compute_metrics,
+    load_events,
+    make_monitor,
+    make_scenario,
+    run_comparison,
+    run_soak,
+    scaled_cost_model,
+)
+from repro.chaos.__main__ import main as chaos_main
+from repro.chaos.metrics import EVENT_TYPES, event_lines
+from repro.chaos.report import (
+    check_against_baseline,
+    check_chaos_invariants,
+    render_markdown,
+    report_json,
+)
+from repro.chaos.soak import build_plan, make_countermeasure
+from repro.errors import ChaosError, StudyError
+from repro.ft.inject import KillPlan
+from repro.registry import all_kinds, available, render_available
+from repro.simulator.costs import cray_xe6_like
+from repro.study.campaign import _trial_batches
+from repro.study.model import IntervalModel
+from repro.study.workloads import make_workload
+
+pytestmark = pytest.mark.usefixtures("proc_hygiene")
+
+PROC_SKIP = pytest.mark.skipif(
+    not proc_available(), reason="proc backend needs fork + POSIX shared memory"
+)
+
+SHAPE = dict(nprocs=8, ops_per_round=400, steps_per_round=20, rounds=4)
+
+
+def small_spec(**overrides) -> SoakSpec:
+    """A seconds-long sim soak that still fires and resolves real outages."""
+    defaults = dict(
+        workload="stencil",
+        scenario="poisson",
+        rounds=3,
+        interval=6,
+        rate_per_round=1.0,
+        seed=2026,
+        workload_params={"n_local": 16, "iters": 24},
+    )
+    defaults.update(overrides)
+    return SoakSpec(**defaults)
+
+
+def scrub(events: list[dict]) -> list[dict]:
+    """Drop the two backend-identifying fields from an event stream.
+
+    ``soak_started`` carries the backend name and ``failure_initiated`` the
+    ``real`` flag (SIGKILL vs simulated fail-stop); everything else must be
+    bit-identical between ``sim`` and ``proc``.
+    """
+    return [
+        {k: v for k, v in e.items() if k not in ("backend", "real")} for e in events
+    ]
+
+
+# ----------------------------------------------------------------------
+# Registry introspection
+# ----------------------------------------------------------------------
+def test_chaos_kinds_registered():
+    assert available("scenario") == ("cascade", "correlated", "flaky", "poisson")
+    assert available("monitor") == ("episodes", "transitions")
+    assert available("countermeasure") == ("excise", "replay", "rollback")
+
+
+def test_render_available_lists_every_kind():
+    text = render_available()
+    assert len(all_kinds()) >= 7
+    for line_start in ("scenarios:", "monitors:", "countermeasures:",
+                      "backends:", "stores:", "recoveries:", "workloads:"):
+        assert any(line.startswith(line_start) for line in text.splitlines())
+
+
+def test_make_scenario_rejects_unknown():
+    with pytest.raises(ChaosError, match="poisson"):
+        make_scenario("meteor-strike")
+
+
+# ----------------------------------------------------------------------
+# Seeded determinism: KillPlan.seeded and the scenario generators
+# ----------------------------------------------------------------------
+def test_killplan_seeded_deterministic():
+    a = KillPlan.seeded(42, nprocs=8, max_ops=10_000, kills=4)
+    b = KillPlan.seeded(42, nprocs=8, max_ops=10_000, kills=4)
+    assert [(e.after_ops, e.rank, e.kind) for e in a] == [
+        (e.after_ops, e.rank, e.kind) for e in b
+    ]
+
+
+def test_killplan_disjoint_seeds_disjoint_schedules():
+    parent = np.random.SeedSequence(2026)
+    left, right = parent.spawn(2)
+    a = KillPlan.seeded(left, nprocs=8, max_ops=100_000, kills=5)
+    b = KillPlan.seeded(right, nprocs=8, max_ops=100_000, kills=5)
+    assert {e.after_ops for e in a}.isdisjoint({e.after_ops for e in b})
+
+
+@pytest.mark.parametrize("name", ["poisson", "correlated", "cascade", "flaky"])
+def test_scenario_same_seed_same_plan(name):
+    scenario = make_scenario(name, rate_per_round=1.5)
+    plans = [
+        scenario.plan(np.random.SeedSequence(7), **SHAPE) for _ in range(2)
+    ]
+    events = [[(e.after_ops, e.rank, e.kind) for e in p] for p in plans]
+    assert events[0] == events[1]
+    assert events[0], f"scenario {name} generated an empty plan at rate 1.5"
+
+
+@pytest.mark.parametrize("name", ["poisson", "correlated", "cascade", "flaky"])
+def test_scenario_disjoint_seeds_differ(name):
+    scenario = make_scenario(name, rate_per_round=1.5)
+    left, right = np.random.SeedSequence(7).spawn(2)
+    a = scenario.plan(left, **SHAPE)
+    b = scenario.plan(right, **SHAPE)
+    assert [(e.after_ops, e.rank) for e in a] != [(e.after_ops, e.rank) for e in b]
+
+
+def test_correlated_scenario_kills_nodes():
+    plan = make_scenario("correlated", rate_per_round=1.5).plan(
+        np.random.SeedSequence(7), **SHAPE
+    )
+    assert all(e.kind.value == "node_kill" for e in plan)
+
+
+def test_flaky_scenario_targets_one_victim():
+    plan = make_scenario("flaky").plan(np.random.SeedSequence(7), **SHAPE)
+    assert len({e.rank for e in plan}) == 1
+    offsets = [e.after_ops for e in plan]
+    assert offsets == sorted(offsets)
+
+
+def test_scenario_rejects_degenerate_shape():
+    with pytest.raises(ChaosError, match="nprocs"):
+        make_scenario("poisson").plan(
+            np.random.SeedSequence(0),
+            nprocs=1, ops_per_round=10, steps_per_round=2, rounds=1,
+        )
+
+
+# ----------------------------------------------------------------------
+# Time compression
+# ----------------------------------------------------------------------
+def test_scaled_cost_model_preserves_relative_costs():
+    base = cray_xe6_like()
+    scaled = scaled_cost_model(base, compression=10_000.0)
+    assert scaled.name == f"{base.name}-x10000"
+    assert scaled.network_latency == pytest.approx(base.network_latency * 10_000)
+    assert scaled.network_bandwidth == pytest.approx(base.network_bandwidth / 10_000)
+    # Relative cost of any two latencies is untouched.
+    assert scaled.network_latency / scaled.issue_overhead == pytest.approx(
+        base.network_latency / base.issue_overhead
+    )
+
+
+def test_scaled_cost_model_rejects_nonpositive():
+    with pytest.raises(ChaosError, match="positive"):
+        scaled_cost_model(compression=0.0)
+
+
+# ----------------------------------------------------------------------
+# SoakSpec validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("field,value", [
+    ("workload", "nope"),
+    ("backend", "nope"),
+    ("store", "nope"),
+    ("countermeasure", "nope"),
+    ("scenario", "nope"),
+    ("monitor", "nope"),
+])
+def test_spec_rejects_unknown_names(field, value):
+    with pytest.raises(ChaosError, match="nope"):
+        SoakSpec(**{field: value})
+
+
+def test_spec_rejects_non_numeric_interval():
+    with pytest.raises(ChaosError, match="interval"):
+        SoakSpec(interval="auto")
+
+
+def test_spec_cell_key_orders_axes():
+    assert small_spec().cell_key == "stencil/poisson/sim/memory/rollback"
+
+
+# ----------------------------------------------------------------------
+# The soak driver and the event log
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sim_comparison():
+    """One serial sim comparison shared by the report/invariant tests."""
+    return run_comparison(small_spec())
+
+
+def test_soak_events_well_formed(tmp_path):
+    result = run_soak(small_spec(), events_path=str(tmp_path / "soak.jsonl"))
+    assert result.aborted is None
+    assert result.metrics.kills_fired >= 1
+    assert result.metrics.episodes_resolved >= 1
+    times = [e["t"] for e in result.events]
+    assert times == sorted(times), "events must be emitted in virtual-time order"
+    assert {e["type"] for e in result.events} <= EVENT_TYPES
+    assert result.events[0]["type"] == "soak_started"
+    assert result.events[-1]["type"] == "soak_completed"
+    assert result.metrics.rounds_completed == small_spec().rounds
+
+
+def test_event_log_roundtrips_through_metrics(tmp_path):
+    path = tmp_path / "soak.jsonl"
+    result = run_soak(small_spec(), events_path=str(path))
+    loaded = load_events(str(path))
+    assert loaded == result.events
+    assert compute_metrics(loaded) == result.metrics
+
+
+def test_load_events_validates_schema(tmp_path):
+    bad_json = tmp_path / "bad.jsonl"
+    bad_json.write_text('{"type": "soak_started", "t": 0}\nnot json\n')
+    with pytest.raises(ChaosError, match="bad.jsonl:2"):
+        load_events(str(bad_json))
+    bad_type = tmp_path / "type.jsonl"
+    bad_type.write_text('{"type": "meteor", "t": 0}\n')
+    with pytest.raises(ChaosError, match="unknown event type"):
+        load_events(str(bad_type))
+    no_t = tmp_path / "t.jsonl"
+    no_t.write_text('{"type": "soak_started"}\n')
+    with pytest.raises(ChaosError, match="numeric 't'"):
+        load_events(str(no_t))
+
+
+def test_rerun_is_byte_identical():
+    a = run_soak(small_spec())
+    b = run_soak(small_spec())
+    assert list(event_lines(a.events)) == list(event_lines(b.events))
+    assert a.digest == b.digest
+    assert a.as_dict() == b.as_dict()
+
+
+def test_episode_monitor_coalesces_outages():
+    result = run_soak(small_spec(monitor="episodes"))
+    episodes = [e for e in result.events if e["type"] == "episode"]
+    assert len(episodes) == result.metrics.episodes_resolved
+    for episode in episodes:
+        assert episode["initiated_t"] <= episode["detected_t"] <= episode["restored_t"]
+    # The coalesced events are derived, not double-counted by the metrics.
+    transitions = [e for e in result.events if e["type"] != "episode"]
+    assert compute_metrics(transitions) == result.metrics
+
+
+def test_excise_skips_kills_of_excised_rank():
+    result = run_soak(
+        small_spec(scenario="flaky", countermeasure="excise", rate_per_round=1.0)
+    )
+    # The flaky victim dies once, is excised, and every later flap of the
+    # same rank is a skipped event the monitor still accounts for.
+    assert result.metrics.kills_fired == 1
+    assert result.metrics.kills_skipped >= 1
+    assert result.excised_ranks >= 1
+
+
+def test_plan_is_identical_across_countermeasures_and_backends():
+    workload = make_workload("stencil", nprocs=8, n_local=16, iters=24)
+    plans = [
+        build_plan(
+            small_spec(countermeasure=c, store=s),
+            ops_per_round=400, steps_per_round=workload.steps,
+        )
+        for c, s in (("rollback", "memory"), ("replay", "disk"), ("excise", "parity"))
+    ]
+    events = [[(e.after_ops, e.rank, e.kind) for e in p] for p in plans]
+    assert events[0] == events[1] == events[2]
+
+
+# ----------------------------------------------------------------------
+# The comparison grid: the paper's availability / MTTR trade-off
+# ----------------------------------------------------------------------
+def test_comparison_invariants_hold_on_sim(sim_comparison):
+    assert check_chaos_invariants(sim_comparison) == []
+    by_cm = {r.spec.countermeasure: r for r in sim_comparison}
+    assert by_cm["replay"].metrics.mttr_s < by_cm["rollback"].metrics.mttr_s
+    assert (
+        by_cm["excise"].metrics.availability
+        > by_cm["rollback"].metrics.availability
+    )
+    assert (
+        by_cm["excise"].metrics.availability
+        > by_cm["replay"].metrics.availability
+    )
+
+
+def test_comparison_cells_face_identical_schedules(sim_comparison):
+    plans = {tuple(map(tuple, r.plan)) for r in sim_comparison}
+    assert len(plans) == 1
+
+
+def test_thread_executor_matches_serial(sim_comparison):
+    threaded = run_comparison(small_spec(), executor="thread", max_workers=3)
+    assert report_json(threaded) == report_json(sim_comparison)
+
+
+def test_report_roundtrip_and_baseline_gate(sim_comparison):
+    report = json.loads(report_json(sim_comparison))
+    assert check_against_baseline(report, report) == []
+    doctored = json.loads(report_json(sim_comparison))
+    key = next(iter(doctored["cells"]))
+    doctored["cells"][key]["metrics"]["kills_fired"] += 1
+    assert any("kills_fired" in f for f in check_against_baseline(report, doctored))
+
+
+def test_render_markdown_shows_every_cell(sim_comparison):
+    text = render_markdown(sim_comparison)
+    for result in sim_comparison:
+        assert result.spec.countermeasure in text
+    assert "MTTR predicted" in text
+
+
+def test_rollback_prices_reexecution(sim_comparison):
+    # A global rollback must re-execute all lost work; the observed MTTR is
+    # therefore bounded below by one step of virtual time.
+    rollback = next(r for r in sim_comparison if r.spec.countermeasure == "rollback")
+    steps = make_workload("stencil", nprocs=8, n_local=16, iters=24).steps
+    assert rollback.metrics.mttr_s > rollback.round_seconds / steps
+
+
+@PROC_SKIP
+def test_sim_and_proc_soaks_are_identical():
+    from dataclasses import replace
+
+    spec = small_spec(seed=7)
+    sim = run_soak(spec)
+    proc = run_soak(replace(spec, backend="proc"))
+    assert sim.metrics.kills_fired >= 1
+    assert scrub(sim.events) == scrub(proc.events)
+    assert sim.metrics == proc.metrics
+    assert sim.digest == proc.digest
+    assert sim.plan == proc.plan
+
+
+# ----------------------------------------------------------------------
+# Analytic predictions
+# ----------------------------------------------------------------------
+def test_predicted_mttr_ordering():
+    model = IntervalModel(
+        cost_model=cray_xe6_like(),
+        nprocs=8,
+        bytes_per_rank=1 << 16,
+        store="memory",
+        rates_per_level={0: 1e-3},
+    )
+    kwargs = dict(step_seconds=0.5, interval_steps=8)
+    degraded = model.predicted_mttr_seconds("degraded", **kwargs)
+    localized = model.predicted_mttr_seconds("localized", **kwargs)
+    global_ = model.predicted_mttr_seconds("global", **kwargs)
+    assert degraded < localized < global_
+    assert (
+        model.predicted_availability("degraded", **kwargs)
+        > model.predicted_availability("global", **kwargs)
+    )
+    with pytest.raises(StudyError, match="degraded"):
+        model.predicted_mttr_seconds("nope", **kwargs)
+
+
+def test_soak_result_carries_predictions(sim_comparison):
+    for result in sim_comparison:
+        assert result.predicted_mttr_s > 0
+        assert 0 < result.predicted_availability <= 1
+
+
+# ----------------------------------------------------------------------
+# Observer / listener seams
+# ----------------------------------------------------------------------
+def test_session_observer_hooks():
+    seen: list[tuple] = []
+
+    class Recorder(repro.SessionObserver):
+        def on_step_completed(self, step, t):
+            seen.append(("step", step))
+
+        def on_failure_detected(self, rank, step, t):
+            seen.append(("detected", rank))
+
+        def on_recovery_completed(self, resume_step, t):
+            seen.append(("recovered", resume_step))
+
+    with repro.launch(4, ft=repro.FaultTolerancePolicy(interval=4)) as job:
+        job.allocate("u", 10)
+        repro.install_injector(job, KillPlan.single(rank=1, after_ops=30))
+
+        def kernel(ctx, step):
+            w = ctx.win("u")
+            w[(ctx.rank + 1) % ctx.nranks, 0] = float(step)
+            yield ctx.gsync()
+
+        job.add_observer(Recorder())
+        job.run(kernel, steps=12)
+
+    kinds = [k for k, _ in seen]
+    # Re-executed steps after the rollback notify again, so the completion
+    # count exceeds the step count but every step completes at least once.
+    assert kinds.count("step") >= 12
+    assert {s for k, s in seen if k == "step"} == set(range(12))
+    assert ("detected", 1) in seen
+    assert "recovered" in kinds
+    assert kinds.index("detected") < kinds.index("recovered")
+
+
+def test_monitor_requires_bind():
+    from repro.ft.inject import FiredKill, KillEvent
+
+    record = FiredKill(event=KillEvent(after_ops=1, rank=0), victims=(0,), real=False)
+    with pytest.raises(ChaosError, match="bind"):
+        make_monitor("transitions").on_kill(record)
+    assert isinstance(make_monitor("episodes"), EpisodeMonitor)
+
+
+def test_countermeasures_map_onto_recovery_protocols():
+    for name, recovery in (
+        ("rollback", "global"), ("replay", "localized"), ("excise", "degraded")
+    ):
+        cm = make_countermeasure(name)
+        assert cm.recovery == recovery
+        assert cm.policy(store="memory", interval=4).recovery == recovery
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_chaos_cli_list(capsys):
+    assert chaos_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("scenarios:", "countermeasures:", "monitors:"):
+        assert kind in out
+
+
+def test_chaos_cli_quick(tmp_path, capsys):
+    events = tmp_path / "soak.jsonl"
+    output = tmp_path / "soak.json"
+    code = chaos_main([
+        "--quick", "--events", str(events), "--output", str(output),
+    ])
+    assert code == 0
+    assert "invariants hold" in capsys.readouterr().out
+    assert load_events(str(events))  # schema-valid JSONL
+    report = json.loads(output.read_text())
+    assert report["meta"]["engine"] == "repro.chaos"
+    assert len(report["cells"]) == 3
+
+
+def test_study_cli_list(capsys):
+    from repro.study.__main__ import main as study_main
+
+    assert study_main(["--list"]) == 0
+    assert "workloads:" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Campaign dispatch chunking (the executor fix rides with this PR)
+# ----------------------------------------------------------------------
+def test_trial_batches_cover_every_trial_in_order():
+    from repro.study import CampaignSpec
+
+    spec = CampaignSpec(trials=5)
+    cells = ["c0", "c1", "c2"]
+    baselines = [{"b": i} for i in range(3)]
+    for workers in (1, 2, 4, 16):
+        batches = _trial_batches(spec, cells, baselines, workers)
+        per_cell: dict[str, list[int]] = {c: [] for c in cells}
+        for _, cell, _, start, stop in batches:
+            assert start < stop <= spec.trials
+            per_cell[cell].extend(range(start, stop))
+        assert all(per_cell[c] == list(range(5)) for c in cells)
+        # Batches preserve sweep order: cells in order, ranges ascending.
+        order = [cell for _, cell, _, _, _ in batches]
+        assert order == sorted(order, key=cells.index)
