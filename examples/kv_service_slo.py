@@ -1,0 +1,68 @@
+"""Serving traffic through a failure: the per-window SLO table.
+
+The serving layer (:mod:`repro.serve`) prices a failure the way a service
+owner does — request latency against an SLO — instead of the infrastructure
+units (MTTR, availability) the chaos engine reports.  This example drives the
+sharded ``"kv_service"`` workload under seeded open-loop traffic, injects one
+seeded NODE_KILL mid-run, and compares what each recovery protocol does to
+the latency tail **on identical traffic and an identical kill plan**:
+
+* ``global`` rollback re-executes every step since the checkpoint — every
+  key's requests get re-served at later clocks, so the recovery-window p99
+  spikes for everyone;
+* ``localized`` replay fast-forwards survivors through the log and restores
+  only the failed shard — its requests stall, everyone else's latency stands;
+* ``degraded`` continuation excises the victims and keeps serving — latency
+  stays flat, but the excised shard's reads go stale and its writes drop:
+  a measurable error rate is the price of the flat tail.
+
+Run with::
+
+    PYTHONPATH=src python examples/kv_service_slo.py
+"""
+
+from __future__ import annotations
+
+from repro.serve import ServeSpec, check_serve_invariants, render_markdown, run_slo_comparison
+
+#: A small, seconds-long cell (the CLI's defaults serve a longer run).
+SPEC = ServeSpec(
+    nprocs=8,
+    steps=24,
+    rate_per_step=5.0,
+    slots=32,
+    key_space=256,
+    interval=8,
+    seed=2026,
+    kill_frac=0.45,
+    kill_kind="node_kill",
+)
+
+
+def main() -> None:
+    results = run_slo_comparison(SPEC)
+
+    for result in results:
+        slo = result.slo["overall"]
+        print(
+            f"{result.spec.cell_key:24s} kills={len([k for k in result.kills if not k['skipped']])} "
+            f"recoveries={result.recoveries} excised={result.excised_ranks} "
+            f"errors={slo['errors']}/{slo['requests']}"
+        )
+    print()
+    print(render_markdown(results), end="")
+
+    violations = check_serve_invariants(results)
+    for violation in violations:
+        print(f"INVARIANT: {violation}")
+    if violations:
+        raise SystemExit(1)
+    print()
+    print(
+        "invariants hold: localized recovery-window p99 < global's; "
+        "degraded errs but its tail stays flat"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,15 @@ class SessionObserver:
     def on_step_completed(self, step: int, t: float) -> None:
         """Step ``step`` finished (post-sync; counting re-executions)."""
 
+    def on_checkpoint(self, step: int, t_start: float, t_end: float, demand: bool) -> None:
+        """A coordinated checkpoint committed between ``t_start`` and ``t_end``.
+
+        Covers periodic, phase-opening and demand checkpoints (``demand``
+        distinguishes the latter).  The window is what lets observers segment
+        other measurements — e.g. request latencies — into steady-state vs
+        during-checkpoint time.  A checkpoint aborted by a failure emits no
+        event; its span is subsumed by the recovery that follows."""
+
     def on_failure_detected(self, rank: int, step: int, t: float) -> None:
         """A :class:`ProcessFailedError` for ``rank`` surfaced during ``step``."""
 
@@ -492,10 +501,20 @@ class Job:
         assert policy is not None
         interval_due = self._interval is not None and step % self._interval == 0
         if interval_due or not self._have_checkpoint:
+            began = self.cluster.elapsed()
             self.ft.checkpointer.checkpoint(tag=step)
             self._have_checkpoint = True
+            if self._observers:
+                self._notify(
+                    "on_checkpoint", step, began, self.cluster.elapsed(), False
+                )
         elif policy.demand_threshold_bytes is not None:
-            self.ft.checkpointer.maybe_checkpoint(tag=step)
+            began = self.cluster.elapsed()
+            taken = self.ft.checkpointer.maybe_checkpoint(tag=step)
+            if taken is not None and self._observers:
+                self._notify(
+                    "on_checkpoint", step, began, self.cluster.elapsed(), True
+                )
 
     def _step_boundary_hook(self) -> None:
         """Bookkeeping at the end of every completed step.

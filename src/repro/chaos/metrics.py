@@ -27,6 +27,8 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 
+from repro.stats import latency_percentiles
+
 __all__ = [
     "ChaosMetrics",
     "compute_metrics",
@@ -83,6 +85,11 @@ class ChaosMetrics:
     availability: float | None
     #: Fraction of virtual time spent between detection and restoration.
     recovering_fraction: float | None
+    #: Repair-span distribution (nearest-rank, shared estimator with the
+    #: serve layer's SLO reports); ``None`` without resolved outages.
+    mttr_p50_s: float | None = None
+    mttr_p95_s: float | None = None
+    mttr_p99_s: float | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -126,6 +133,7 @@ def compute_metrics(events: list[dict]) -> ChaosMetrics:
     resolved = [(i, d, r) for (i, d, r) in episodes if r is not None]
     repair_spans = [r - d for (_, d, r) in resolved if d is not None]
     mttr = sum(repair_spans) / len(repair_spans) if repair_spans else None
+    repair_pcts = latency_percentiles(repair_spans)
 
     onsets = [i for (i, _, _) in episodes]
     gaps = [b - a for a, b in zip(onsets, onsets[1:])]
@@ -161,6 +169,9 @@ def compute_metrics(events: list[dict]) -> ChaosMetrics:
         mttr_s=mttr,
         availability=availability,
         recovering_fraction=recovering,
+        mttr_p50_s=repair_pcts["p50"] if repair_pcts else None,
+        mttr_p95_s=repair_pcts["p95"] if repair_pcts else None,
+        mttr_p99_s=repair_pcts["p99"] if repair_pcts else None,
     )
 
 

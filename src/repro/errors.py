@@ -192,3 +192,15 @@ class ChaosError(ReproError):
 
     Raised for unknown scenario/monitor/countermeasure names, invalid soak
     specifications, and malformed chaos event logs."""
+
+
+# ---------------------------------------------------------------------------
+# Serving errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Misuse of the KV-serving subsystem (:mod:`repro.serve`).
+
+    Raised for invalid service specifications, malformed request logs and
+    traffic-generator parameters outside their domain."""

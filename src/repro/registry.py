@@ -48,14 +48,23 @@ _BUILTIN_KIND_MODULES = (
     "repro.chaos.scenarios",
     "repro.chaos.monitor",
     "repro.chaos.soak",
+    "repro.serve.service",
 )
+
+#: Whether every built-in seam module has been imported already (memoized so
+#: introspection paths can call :func:`_import_builtins` unconditionally).
+_builtins_loaded = False
 
 
 def _import_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
     import importlib
 
     for module in _BUILTIN_KIND_MODULES:
         importlib.import_module(module)
+    _builtins_loaded = True
 
 
 def register_kind(kind: str, registry: dict[str, type]) -> None:
@@ -74,9 +83,13 @@ def available(kind: str) -> tuple[str, ...]:
     ``kind`` is one of ``"backend"``, ``"store"``, ``"recovery"``,
     ``"workload"`` (plus any kind registered by third-party extensions).
     Raises :class:`KeyError` naming the known kinds for an unknown one.
+
+    Always loads the built-in seam modules first: some of them *extend* a
+    registry another module created (``repro.serve.service`` adds its
+    workload to the study catalog), so the kind being present is not proof
+    the listing is complete.
     """
-    if kind not in _KINDS:
-        _import_builtins()
+    _import_builtins()
     registry = _KINDS.get(kind)
     if registry is None:
         known = ", ".join(repr(name) for name in sorted(_KINDS))
@@ -162,6 +175,13 @@ def resolve_component(
         return spec
     if isinstance(spec, str):
         cls = registry.get(spec)
+        if cls is None and _KINDS.get(kind) is registry:
+            # A built-in seam module may extend this registry without having
+            # been imported yet (e.g. "kv_service" lives in repro.serve but
+            # registers into the study workload catalog): load the built-ins
+            # and look again before declaring the name unknown.
+            _import_builtins()
+            cls = registry.get(spec)
         if cls is None:
             known = ", ".join(repr(name) for name in _known_names(kind, registry))
             raise error(

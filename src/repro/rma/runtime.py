@@ -553,6 +553,18 @@ class RmaRuntime:
         """Whether a localized recovery's replay is currently active."""
         return self._replay is not None
 
+    @property
+    def replay_restoring(self) -> frozenset[int]:
+        """Ranks being reconstructed by the active replay (empty when none).
+
+        During a localized replay only these ranks perform real work;
+        survivors re-derive values they already hold.  Instrumented kernels
+        (e.g. the KV service's latency recorder) use this to keep survivors'
+        original measurements instead of overwriting them with replay-time
+        clocks.
+        """
+        return self._replay.restoring if self._replay is not None else frozenset()
+
     def begin_replay(self, cursor: ReplayCursor) -> None:
         """Enter replay mode: issued actions matching ``cursor`` are suppressed.
 

@@ -1,0 +1,234 @@
+"""``python -m repro.serve`` — sharded KV service under failures, SLO report.
+
+Examples::
+
+    # The default comparison: one seeded NODE_KILL against all three
+    # recovery protocols on identical traffic, SLO table on stdout:
+    python -m repro.serve
+
+    # The same grid on the real-process backend too, with the canonical
+    # request log and JSON report written out:
+    python -m repro.serve --backends sim,proc \\
+        --requests requests.jsonl --output serve.json
+
+    # The CI gate: quick smoke, schema-validated log, baseline comparison:
+    python -m repro.serve --quick --backends sim,proc \\
+        --check-baseline benchmarks/BENCH_serve_baseline.json
+
+    # What can I put on each axis?
+    python -m repro.serve --list
+
+Exit status 1 when a comparison invariant is violated or the baseline gate
+fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.registry import render_available
+from repro.serve.engine import ServeSpec, run_slo_comparison
+from repro.serve.report import (
+    check_against_baseline,
+    check_serve_invariants,
+    render_markdown,
+    report_json,
+    write_requests,
+)
+
+__all__ = ["main"]
+
+
+def _csv(value: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in value.split(",") if item.strip())
+
+
+def quick_spec() -> ServeSpec:
+    """The seconds-long CI serving cell: short run, modest key space."""
+    return ServeSpec(
+        steps=24,
+        rate_per_step=5.0,
+        slots=32,
+        key_space=256,
+        interval=8,
+        seed=2026,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="sharded resilient KV service with open-loop traffic and latency SLOs",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every registered component of every kind and exit",
+    )
+    parser.add_argument(
+        "--backends", type=_csv, default=("sim",),
+        help="comma-separated backends to compare on identical traffic",
+    )
+    parser.add_argument(
+        "--stores", type=_csv, default=("memory",),
+        help="comma-separated checkpoint stores to compare",
+    )
+    parser.add_argument(
+        "--recoveries", type=_csv, default=("global", "localized", "degraded"),
+        help="comma-separated recovery protocols to compare (default: all three)",
+    )
+    parser.add_argument("--steps", type=int, default=40, help="job steps to serve")
+    parser.add_argument(
+        "--rate", type=float, default=6.0, metavar="REQS_PER_STEP",
+        help="mean request arrivals per job step (default 6.0)",
+    )
+    parser.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="key-skew exponent (0 = uniform; default 1.1)",
+    )
+    parser.add_argument(
+        "--read-fraction", type=float, default=0.5,
+        help="fraction of requests that are reads (default 0.5)",
+    )
+    parser.add_argument(
+        "--key-space", type=int, default=512, help="distinct client keys"
+    )
+    parser.add_argument("--slots", type=int, default=64, help="slots per shard")
+    parser.add_argument(
+        "--interval", type=int, default=10, help="checkpoint interval in steps"
+    )
+    parser.add_argument(
+        "--compression", type=float, default=1000.0,
+        help="virtual-time compression factor (default 1000x)",
+    )
+    parser.add_argument("--seed", type=int, default=2026, help="traffic + plan seed")
+    parser.add_argument("--nprocs", type=int, default=8, help="ranks (= shards) per job")
+    parser.add_argument(
+        "--procs-per-node", type=int, default=2, help="ranks packed per node"
+    )
+    parser.add_argument(
+        "--kill-frac", type=float, default=0.45,
+        help="kill offset as a fraction of the probe's op stream (default 0.45)",
+    )
+    parser.add_argument(
+        "--kill-kind", default="node_kill",
+        help="pod_kill (one rank) or node_kill (every rank of the node)",
+    )
+    parser.add_argument(
+        "--executor", choices=("serial", "thread"), default="serial",
+        help="how comparison cells are dispatched (report is identical either way)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the seconds-long CI serving configuration",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH", help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--requests", default=None, metavar="PATH",
+        help="write the canonical JSONL request log (all cells) here",
+    )
+    parser.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="write the markdown SLO table here (always printed to stdout)",
+    )
+    parser.add_argument(
+        "--check-baseline", default=None, metavar="PATH",
+        help="compare against a baseline JSON report and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="tolerated p99 ratio against the baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-invariants", action="store_true",
+        help="do not gate on the comparison invariants (debugging only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print(render_available())
+        return 0
+    if args.quick:
+        base = quick_spec()
+    else:
+        base = ServeSpec(
+            steps=args.steps,
+            rate_per_step=args.rate,
+            zipf_s=args.zipf,
+            read_fraction=args.read_fraction,
+            key_space=args.key_space,
+            slots=args.slots,
+            interval=args.interval,
+            compression=args.compression,
+            seed=args.seed,
+            nprocs=args.nprocs,
+            procs_per_node=args.procs_per_node,
+            kill_frac=args.kill_frac,
+            kill_kind=args.kill_kind,
+        )
+    results = run_slo_comparison(
+        base,
+        recoveries=args.recoveries,
+        backends=args.backends,
+        stores=args.stores,
+        executor=args.executor,
+    )
+
+    markdown = render_markdown(results)
+    print(markdown, end="")
+    if args.requests:
+        count = write_requests(results, args.requests)
+        print(f"{count} request rows written to {args.requests}")
+    report = None
+    if args.output or args.check_baseline:
+        import json
+
+        report = json.loads(report_json(results))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report_json(results))
+        print(f"report written to {args.output}")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(markdown)
+        print(f"summary written to {args.markdown}")
+
+    status = 0
+    if not args.skip_invariants:
+        violations = check_serve_invariants(results)
+        for violation in violations:
+            print(f"INVARIANT: {violation}", file=sys.stderr)
+        if violations:
+            status = 1
+        else:
+            print(
+                "invariants hold (localized recovery p99 < global; "
+                "degraded errs but stays flat)"
+            )
+    if args.check_baseline:
+        import json
+
+        with open(args.check_baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(
+            report, baseline, max_ratio=args.max_regression
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(
+                f"baseline check passed against {args.check_baseline} "
+                f"(tolerance {args.max_regression:.1f}x)"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

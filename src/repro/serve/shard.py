@@ -1,0 +1,63 @@
+"""Key placement: hashing client keys over rank-owned window regions.
+
+A :class:`ShardMap` is the service's only notion of data placement: every
+rank owns one shard — a contiguous region of ``slots`` elements of the
+shared ``"kv"`` window — and a client key is placed by a multiplicative
+(Fibonacci) hash over the global slot space.  Hashing, rather than the
+``key // slots`` split the :class:`~repro.study.workloads.KvUpdate` kernel
+uses, is what makes a skewed key distribution serveable: Zipf traffic
+concentrates on low key ids, and the hash scatters those hot keys across
+*all* shards instead of melting the rank that owns the low slots.
+
+The map is a pure function of ``(nshards, slots)`` — no state, no RNG — so
+every frontend rank, the request generator and the report reducer all agree
+on placement without communicating, and placement is identical across
+backends and re-runs by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+__all__ = ["ShardMap"]
+
+#: Knuth's multiplicative hash constant (2^32 / phi), coprime to 2^32 — a
+#: full-period scatter of consecutive key ids across the slot space.
+_FIBONACCI_MULT = 2654435761
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Placement of client keys over ``nshards`` rank-owned shards.
+
+    ``locate(key)`` returns ``(owner_rank, slot_offset)``; distinct keys may
+    share a slot (the table is a bucketed accumulator, exactly like the GUPS
+    kernel it grew out of), but one key always lands on one slot.
+    """
+
+    #: Number of shards — one per rank of the serving job.
+    nshards: int
+    #: Slots (window elements) each shard owns.
+    slots: int
+
+    def __post_init__(self) -> None:
+        if self.nshards < 1 or self.slots < 1:
+            raise ServeError("a shard map needs nshards >= 1 and slots >= 1")
+
+    @property
+    def total_slots(self) -> int:
+        """Global slot count: ``nshards * slots``."""
+        return self.nshards * self.slots
+
+    def locate(self, key: int) -> tuple[int, int]:
+        """``(owner_rank, offset)`` of ``key`` — pure, stateless placement."""
+        if key < 0:
+            raise ServeError(f"keys are non-negative integers, got {key}")
+        slot = (key * _FIBONACCI_MULT) % self.total_slots
+        return divmod(slot, self.slots)
+
+    def owner(self, key: int) -> int:
+        """The rank whose shard serves ``key``."""
+        return self.locate(key)[0]

@@ -1,0 +1,173 @@
+"""SLO accounting: window segmentation and the per-window latency report.
+
+:class:`WindowTracker` is the serving layer's :class:`~repro.api.session.SessionObserver`:
+it collects the **checkpoint windows** (the new ``on_checkpoint`` hook) and
+the **recovery windows** (failure detected → the crash-aborted step completes
+again, the same service-restored marker chaos MTTR uses) of one run, plus the
+injector's kill records.  :func:`build_slo_report` then segments every
+request by the window containing its *completion* instant — the moment the
+client got its answer — and reduces each segment to the numbers an SLO is
+written in: p50/p95/p99 latency (shared nearest-rank estimator,
+:func:`repro.stats.latency_percentiles`), throughput, and error/stale-read
+rate.  All timestamps are virtual, so the report is byte-identical across
+re-runs and backends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.session import SessionObserver
+from repro.serve.service import STATUS_OK
+from repro.stats import latency_percentiles
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.api.session import Job
+    from repro.ft.inject import FiredKill
+
+__all__ = ["WindowTracker", "SEGMENTS", "build_slo_report"]
+
+#: Window segments a request can complete in (the report's row keys).
+SEGMENT_STEADY = "steady"
+SEGMENT_CHECKPOINT = "checkpoint"
+SEGMENT_RECOVERY = "recovery"
+SEGMENTS = (SEGMENT_STEADY, SEGMENT_CHECKPOINT, SEGMENT_RECOVERY)
+
+
+class WindowTracker(SessionObserver):
+    """Records the checkpoint/recovery windows of one serving run."""
+
+    def __init__(self) -> None:
+        #: Committed checkpoint spans: ``(t_start, t_end, step, demand)``.
+        self.checkpoint_windows: list[tuple[float, float, int, bool]] = []
+        #: Closed outage spans: ``(detected_t, restored_t)``.
+        self.recovery_windows: list[tuple[float, float]] = []
+        #: Injector records: one dict per planned kill (fired or skipped).
+        self.kills: list[dict] = []
+        self.recoveries = 0
+        self._job: Job | None = None
+        self._outage: dict | None = None
+
+    # ------------------------------------------------------------------
+    def bind(self, job: "Job") -> None:
+        """Attach to ``job``'s cluster for kill timestamps."""
+        self._job = job
+
+    def on_kill(self, record: "FiredKill") -> None:
+        """Injector listener: timestamp every planned kill as it resolves."""
+        assert self._job is not None, "tracker used before bind(job)"
+        self.kills.append(
+            {
+                "t": self._job.cluster.elapsed(),
+                "rank": record.event.rank,
+                "kind": record.event.kind.value,
+                "after_ops": record.event.after_ops,
+                "victims": list(record.victims),
+                "skipped": record.skipped,
+                "real": record.real,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Session observer hooks
+    # ------------------------------------------------------------------
+    def on_checkpoint(self, step: int, t_start: float, t_end: float, demand: bool) -> None:
+        self.checkpoint_windows.append((t_start, t_end, step, demand))
+
+    def on_failure_detected(self, rank: int, step: int, t: float) -> None:
+        if self._outage is None:
+            self._outage = {"detected_t": t, "crash_step": step}
+        else:
+            # A further failure during recovery extends the same outage; the
+            # service is restored only once the *latest* aborted step
+            # completes again.
+            self._outage["crash_step"] = max(self._outage["crash_step"], step)
+
+    def on_recovery_completed(self, resume_step: int, t: float) -> None:
+        self.recoveries += 1
+
+    def on_step_completed(self, step: int, t: float) -> None:
+        outage = self._outage
+        if outage is not None and step >= outage["crash_step"]:
+            self.recovery_windows.append((outage["detected_t"], t))
+            self._outage = None
+
+    # ------------------------------------------------------------------
+    def finish(self, t: float) -> None:
+        """Close the books at the run's final virtual time ``t``.
+
+        An outage still open (the run aborted, or a degraded continuation
+        never re-completed the crash step) counts until the end — consistent
+        with how chaos availability prices open outages.
+        """
+        if self._outage is not None:
+            self.recovery_windows.append((self._outage["detected_t"], t))
+            self._outage = None
+
+    def segment_of(self, t: float) -> str:
+        """The segment the instant ``t`` belongs to (recovery wins)."""
+        for t0, t1 in self.recovery_windows:
+            if t0 <= t <= t1:
+                return SEGMENT_RECOVERY
+        for t0, t1, _step, _demand in self.checkpoint_windows:
+            if t0 <= t <= t1:
+                return SEGMENT_CHECKPOINT
+        return SEGMENT_STEADY
+
+    def segment_seconds(self, total_s: float) -> dict[str, float]:
+        """Virtual seconds spent in each segment (recovery overlap wins)."""
+        recovery = sum(t1 - t0 for t0, t1 in self.recovery_windows)
+        checkpoint = sum(t1 - t0 for t0, t1, _s, _d in self.checkpoint_windows)
+        steady = max(total_s - recovery - checkpoint, 0.0)
+        return {
+            SEGMENT_STEADY: steady,
+            SEGMENT_CHECKPOINT: checkpoint,
+            SEGMENT_RECOVERY: recovery,
+        }
+
+
+# ----------------------------------------------------------------------
+# The report reducer
+# ----------------------------------------------------------------------
+def _reduce(rows: list[dict], window_s: float | None) -> dict:
+    """One segment's SLO numbers from its request rows."""
+    completed = [r for r in rows if r["completion_t"] is not None]
+    served = sum(1 for r in rows if r["status"] == STATUS_OK)
+    errors = len(rows) - served
+    latencies = [r["latency_s"] for r in completed]
+    pcts = latency_percentiles(latencies)
+    return {
+        "requests": len(rows),
+        "served": served,
+        "errors": errors,
+        "error_rate": (errors / len(rows)) if rows else None,
+        "latency_ms": (
+            {key: value * 1e3 for key, value in pcts.items()} if pcts else None
+        ),
+        "throughput_rps": (
+            len(completed) / window_s if window_s and window_s > 0 else None
+        ),
+        "window_s": window_s,
+    }
+
+
+def build_slo_report(rows: list[dict], tracker: WindowTracker, total_s: float) -> dict:
+    """Reduce per-request rows to the segmented SLO document.
+
+    ``rows`` carry ``completion_t`` (``None`` for unserved requests),
+    ``latency_s``, ``status`` and ``segment`` — the engine assembles them
+    from the service's records and stamps the segment via
+    :meth:`WindowTracker.segment_of`.  The report holds one entry per
+    segment plus an ``overall`` rollup; empty segments report ``None``
+    percentiles, never NaN.
+    """
+    seconds = tracker.segment_seconds(total_s)
+    by_segment: dict[str, list[dict]] = {segment: [] for segment in SEGMENTS}
+    for row in rows:
+        by_segment[row["segment"]].append(row)
+    report = {
+        segment: _reduce(by_segment[segment], seconds[segment])
+        for segment in SEGMENTS
+    }
+    report["overall"] = _reduce(rows, total_s if total_s > 0 else None)
+    return report

@@ -36,7 +36,7 @@ from repro.study.model import checkpoint_seconds, restart_seconds, system_failur
 # Registry introspection
 # ----------------------------------------------------------------------
 def test_available_lists_every_seam():
-    assert available("workload") == ("allreduce", "kv", "stencil")
+    assert available("workload") == ("allreduce", "kv", "kv_service", "stencil")
     assert available("store") == ("disk", "memory", "parity")
     assert available("recovery") == ("degraded", "global", "localized")
     expected_backends = (
@@ -72,7 +72,8 @@ def test_unknown_workload_lists_catalog():
 # Workload catalog
 # ----------------------------------------------------------------------
 def test_catalog_covers_the_three_examples():
-    assert set(WORKLOADS) == {"stencil", "allreduce", "kv"}
+    available("workload")  # imports every builtin catalog module (repro.serve)
+    assert set(WORKLOADS) == {"stencil", "allreduce", "kv", "kv_service"}
 
 
 def test_workload_digest_is_bit_exact():
