@@ -24,10 +24,10 @@ more than ``--max-regression`` (default 2x) against the checked-in baseline's
 from __future__ import annotations
 
 import argparse
-import json
 import platform
-import sys
 import time
+
+from common import add_gate_arguments, run_gate, wall_regression, write_report
 
 from repro.chaos import run_comparison
 from repro.chaos.__main__ import quick_spec
@@ -61,42 +61,21 @@ def run_benchmark() -> dict:
 
 def check_against_baseline(report: dict, baseline: dict, max_regression: float) -> list[str]:
     """Compare the comparison wall against the baseline; return failures."""
-    base_wall = baseline.get("comparison_wall_s")
-    if base_wall is None:
-        return [
-            "baseline has no 'comparison_wall_s' key — it is not a bench_chaos "
-            "report (gate against benchmarks/BENCH_chaos_wall.json, not the "
-            "soak report baseline)"
-        ]
-    wall = report["comparison_wall_s"]
-    if wall / base_wall > max_regression:
-        return [
-            f"soak comparison wall {wall:.3f}s is {wall / base_wall:.2f}x slower "
-            f"than baseline {base_wall:.3f}s (allowed {max_regression:.1f}x)"
-        ]
-    return []
+    return wall_regression(
+        report, baseline,
+        key="comparison_wall_s", what="soak comparison",
+        baseline_path="benchmarks/BENCH_chaos_wall.json",
+        max_regression=max_regression,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output", default="BENCH_chaos_wall.json",
-        help="where to write the JSON report",
-    )
-    parser.add_argument(
-        "--check-baseline", metavar="PATH", default=None,
-        help="compare against a baseline JSON and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated slowdown factor against the baseline (default 2.0)",
-    )
+    add_gate_arguments(parser, default_output="BENCH_chaos_wall.json")
     args = parser.parse_args(argv)
 
     report = run_benchmark()
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_report(args.output, report)
     print(
         f"comparison wall {report['comparison_wall_s']:.3f}s covering "
         f"{report['virtual_seconds_covered']:.1f} virtual seconds "
@@ -104,16 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"report written to {args.output}")
 
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(report, baseline, args.max_regression)
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
-    return 0
+    return run_gate(args, report, check_against_baseline)
 
 
 if __name__ == "__main__":

@@ -36,13 +36,12 @@ fewer bytes than the global rollback for some store.
 from __future__ import annotations
 
 import argparse
-import json
 import platform
-import sys
 import time
 from dataclasses import dataclass
 
 import numpy as np
+from common import add_gate_arguments, run_gate, write_report
 
 import repro
 from repro.simulator import FailureSchedule
@@ -203,24 +202,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="short run for CI smoke (96 steps)"
     )
-    parser.add_argument(
-        "--output", default="BENCH_ft.json", help="where to write the JSON report"
-    )
-    parser.add_argument(
-        "--check-baseline", metavar="PATH", default=None,
-        help="compare against a baseline JSON and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated slowdown factor against the baseline (default 2.0)",
-    )
+    add_gate_arguments(parser, default_output="BENCH_ft.json")
     args = parser.parse_args(argv)
 
     iters = 96 if args.quick else args.iters
     report = run_benchmarks(iters)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_report(args.output, report)
 
     for name, row in report["configs"].items():
         print(
@@ -230,16 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"report written to {args.output}")
 
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(report, baseline, args.max_regression)
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
-    return 0
+    return run_gate(args, report, check_against_baseline)
 
 
 if __name__ == "__main__":

@@ -34,13 +34,12 @@ on the stencil workload.
 from __future__ import annotations
 
 import argparse
-import json
 import platform
-import sys
 import time
 from dataclasses import dataclass
 
 import numpy as np
+from common import add_gate_arguments, run_gate, write_report
 
 from repro.rma.runtime import RmaRuntime
 from repro.simulator import Cluster
@@ -207,19 +206,9 @@ def main(argv: list[str] | None = None) -> int:
         "--backend", choices=("vector", "proc"), default="vector",
         help="backend driving the nonblocking path (default: vector)",
     )
-    parser.add_argument(
-        "--output", default=None,
-        help="where to write the JSON report "
-        "(default: BENCH_rma.json, BENCH_rma_proc.json for --backend proc)",
-    )
-    parser.add_argument(
-        "--check-baseline", metavar="PATH", default=None,
-        help="compare against a baseline JSON and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated slowdown factor against the baseline (default 2.0)",
-    )
+    # Default output path is backend-dependent (BENCH_rma.json vs
+    # BENCH_rma_proc.json) and filled in below.
+    add_gate_arguments(parser, default_output=None)
     args = parser.parse_args(argv)
 
     if args.backend == "proc":
@@ -235,9 +224,7 @@ def main(argv: list[str] | None = None) -> int:
 
     epochs = 30 if args.quick else args.epochs
     report = run_benchmarks(epochs, backend=args.backend)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_report(args.output, report)
 
     for name, row in report["workloads"].items():
         print(
@@ -247,16 +234,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"report written to {args.output}")
 
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(report, baseline, args.max_regression)
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
-    return 0
+    return run_gate(args, report, check_against_baseline)
 
 
 if __name__ == "__main__":

@@ -22,10 +22,10 @@ global rollback's** on the same kill plan.
 from __future__ import annotations
 
 import argparse
-import json
 import platform
-import sys
 import time
+
+from common import add_gate_arguments, run_gate, wall_regression, write_report
 
 from repro.serve import run_slo_comparison
 from repro.serve.__main__ import quick_spec
@@ -74,20 +74,14 @@ def run_benchmark() -> dict:
 
 def check_against_baseline(report: dict, baseline: dict, max_regression: float) -> list[str]:
     """Wall gate + the serving invariant; return human-readable failures."""
-    failures: list[str] = []
-    base_wall = baseline.get("comparison_wall_s")
-    if base_wall is None:
-        return [
-            "baseline has no 'comparison_wall_s' key — it is not a bench_serve "
-            "report (gate against benchmarks/BENCH_serve_baseline.json, not "
-            "the CLI report baseline)"
-        ]
-    wall = report["comparison_wall_s"]
-    if wall / base_wall > max_regression:
-        failures.append(
-            f"serve comparison wall {wall:.3f}s is {wall / base_wall:.2f}x slower "
-            f"than baseline {base_wall:.3f}s (allowed {max_regression:.1f}x)"
-        )
+    failures = wall_regression(
+        report, baseline,
+        key="comparison_wall_s", what="serve comparison",
+        baseline_path="benchmarks/BENCH_serve_baseline.json",
+        max_regression=max_regression,
+    )
+    # The serving invariant reads only the current report, so it is checked
+    # even when the wall gate (or its schema guard) already failed.
     cells = report["cells"]
     p99_global = cells.get("sim/memory/global", {}).get("recovery_p99_ms")
     p99_localized = cells.get("sim/memory/localized", {}).get("recovery_p99_ms")
@@ -107,24 +101,11 @@ def check_against_baseline(report: dict, baseline: dict, max_regression: float) 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output", default="BENCH_serve.json",
-        help="where to write the JSON report",
-    )
-    parser.add_argument(
-        "--check-baseline", metavar="PATH", default=None,
-        help="compare against a baseline JSON and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated slowdown factor against the baseline (default 2.0)",
-    )
+    add_gate_arguments(parser, default_output="BENCH_serve.json")
     args = parser.parse_args(argv)
 
     report = run_benchmark()
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_report(args.output, report)
     p99s = {
         key.rsplit("/", 1)[-1]: cell["recovery_p99_ms"]
         for key, cell in report["cells"].items()
@@ -139,16 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"report written to {args.output}")
 
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(report, baseline, args.max_regression)
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
-    return 0
+    return run_gate(args, report, check_against_baseline)
 
 
 if __name__ == "__main__":

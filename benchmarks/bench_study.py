@@ -32,9 +32,10 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import sys
 import time
 from dataclasses import replace
+
+from common import add_gate_arguments, run_gate, wall_regression, write_report
 
 from repro.study import quick_spec, report_json, run_campaign
 
@@ -80,24 +81,12 @@ def run_benchmarks(trials: int, jobs: int | None) -> dict:
 
 def check_against_baseline(report: dict, baseline: dict, max_regression: float) -> list[str]:
     """Compare the serial campaign wall against the baseline; return failures."""
-    failures: list[str] = []
-    base_wall = baseline.get("campaign_wall_s")
-    if base_wall is None:
-        # Guard against handing this gate the *campaign report* (e.g.
-        # BENCH_study_baseline.json), which has no wall times — silently
-        # passing would check nothing.
-        return [
-            "baseline has no 'campaign_wall_s' key — it is not a bench_study "
-            "report (gate against benchmarks/BENCH_study.json, not the "
-            "campaign report baseline)"
-        ]
-    wall = report["campaign_wall_s"]
-    if wall / base_wall > max_regression:
-        failures.append(
-            f"serial campaign wall {wall:.3f}s is {wall / base_wall:.2f}x slower "
-            f"than baseline {base_wall:.3f}s (allowed {max_regression:.1f}x)"
-        )
-    return failures
+    return wall_regression(
+        report, baseline,
+        key="campaign_wall_s", what="serial campaign",
+        baseline_path="benchmarks/BENCH_study.json",
+        max_regression=max_regression,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -107,24 +96,12 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="short run for CI smoke (4 trials)"
     )
     parser.add_argument("--jobs", type=int, default=None, help="max executor workers")
-    parser.add_argument(
-        "--output", default="BENCH_study.json", help="where to write the JSON report"
-    )
-    parser.add_argument(
-        "--check-baseline", metavar="PATH", default=None,
-        help="compare against a baseline JSON and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated slowdown factor against the baseline (default 2.0)",
-    )
+    add_gate_arguments(parser, default_output="BENCH_study.json")
     args = parser.parse_args(argv)
 
     trials = 4 if args.quick else args.trials
     report = run_benchmarks(trials, args.jobs)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_report(args.output, report)
 
     for executor, row in report["executors"].items():
         print(
@@ -133,16 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(f"report written to {args.output}")
 
-    if args.check_baseline:
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(report, baseline, args.max_regression)
-        if failures:
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
-    return 0
+    return run_gate(args, report, check_against_baseline)
 
 
 if __name__ == "__main__":

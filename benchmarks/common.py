@@ -1,0 +1,104 @@
+"""Shared benchmark plumbing: the report/baseline-gate contract.
+
+Every ``bench_*.py`` script follows the same contract: assemble a JSON
+report, write it with canonical formatting, and — when ``--check-baseline``
+names a recorded baseline — apply a script-specific
+``check_against_baseline(report, baseline, max_regression)`` that returns
+human-readable failure strings.  This module holds the pieces that are
+identical across scripts so each benchmark only contains what it measures:
+
+* :func:`add_gate_arguments` — the ``--output`` / ``--check-baseline`` /
+  ``--max-regression`` argument trio;
+* :func:`write_report` — canonical JSON output (sorted keys, trailing
+  newline) so re-recorded baselines diff cleanly;
+* :func:`wall_regression` — the wall-clock ratio gate, including the guard
+  that refuses a baseline file of the wrong schema instead of silently
+  checking nothing;
+* :func:`run_gate` — load the baseline, apply the check, print
+  ``REGRESSION:`` lines to stderr, and return the process exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+#: Signature every script's baseline check follows.
+BaselineCheck = Callable[[dict, dict, float], "list[str]"]
+
+
+def add_gate_arguments(
+    parser: argparse.ArgumentParser, *, default_output: str | None
+) -> None:
+    """Install the shared report/gate options on ``parser``.
+
+    ``default_output=None`` leaves the output path to the script (e.g.
+    computed from another option); it must then be filled in before
+    :func:`write_report`.
+    """
+    parser.add_argument(
+        "--output", default=default_output,
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--check-baseline", metavar="PATH", default=None,
+        help="compare against a baseline JSON and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="tolerated slowdown factor against the baseline (default 2.0)",
+    )
+
+
+def write_report(path: str, report: dict) -> None:
+    """Write ``report`` as canonical JSON and announce where it landed."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def wall_regression(
+    report: dict,
+    baseline: dict,
+    *,
+    key: str,
+    what: str,
+    baseline_path: str,
+    max_regression: float,
+) -> list[str]:
+    """Gate the wall-clock quantity under ``key`` against the baseline.
+
+    A baseline without ``key`` is the wrong file (typically a CLI report
+    baseline, which carries no wall times) — that is reported as a failure
+    rather than silently passing an empty check.
+    """
+    base_wall = baseline.get(key)
+    if base_wall is None:
+        return [
+            f"baseline has no {key!r} key — it is not a {what} benchmark "
+            f"report (gate against {baseline_path}, not a CLI report baseline)"
+        ]
+    wall = report[key]
+    if base_wall > 0 and wall / base_wall > max_regression:
+        return [
+            f"{what} wall {wall:.3f}s is {wall / base_wall:.2f}x slower "
+            f"than baseline {base_wall:.3f}s (allowed {max_regression:.1f}x)"
+        ]
+    return []
+
+
+def run_gate(args: argparse.Namespace, report: dict, check: BaselineCheck) -> int:
+    """Apply the baseline gate selected by ``args``; return the exit code."""
+    if not args.check_baseline:
+        return 0
+    with open(args.check_baseline) as fh:
+        baseline = json.load(fh)
+    failures = check(report, baseline, args.max_regression)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"baseline check passed (tolerance {args.max_regression:.1f}x)")
+    return 0

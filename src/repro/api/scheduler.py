@@ -21,7 +21,11 @@ identical inputs produce bit-identical traces and clocks.
 Failures are *not* handled here: a :class:`~repro.errors.ProcessFailedError`
 raised by any action or collective aborts the step (open generators are
 closed so their ``finally`` blocks run) and propagates to the session, which
-owns recovery.
+owns recovery.  The one exception is a failure-tolerant delivery mode
+(:mod:`repro.qos`): its :class:`~repro.errors.RankSuspendedError` names a
+single suspended rank, so only *that* rank's kernel is abandoned for the
+step — survivors keep running, and the session repairs the suspended rank at
+the next step boundary.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from collections.abc import Callable, Generator
 from typing import TYPE_CHECKING
 
 from repro.api.context import Collective, RankContext
-from repro.errors import SchedulerError
+from repro.errors import RankSuspendedError, SchedulerError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.rma.runtime import RmaRuntime
@@ -66,7 +70,13 @@ class CooperativeScheduler:
                     # replacement process; the shrunk membership simply skips
                     # them (best-effort mode).
                     continue
-                result = kernel(ctx, step)
+                try:
+                    result = kernel(ctx, step)
+                except RankSuspendedError as exc:
+                    if exc.rank != ctx.rank:
+                        raise
+                    self._note_suspended(ctx)
+                    continue
                 if inspect.isgenerator(result):
                     active.append((ctx, result))
                 else:
@@ -97,6 +107,13 @@ class CooperativeScheduler:
             except StopIteration:
                 ctx._check_no_pending_collective()
                 continue
+            except RankSuspendedError as exc:
+                if exc.rank != ctx.rank:
+                    raise
+                gen.close()
+                ctx._reset()
+                self._note_suspended(ctx)
+                continue
             requests.append(ctx._consume_token(token))
             still_active.append((ctx, gen))
         if not still_active:
@@ -111,6 +128,15 @@ class CooperativeScheduler:
             )
         self._perform(kinds.pop())
         return still_active
+
+    def _note_suspended(self, ctx: RankContext) -> None:
+        """Count one abandoned kernel turn of a suspended rank (qos metrics)."""
+        delivery = self.runtime.delivery
+        if delivery is not None:
+            delivery.metrics.count("suspended_steps", ctx.rank)
+            self.runtime.cluster.metrics.incr(
+                "qos.suspended_steps", rank=ctx.rank
+            )
 
     def _perform(self, kind: Collective) -> None:
         """Execute one collective on the shared runtime."""

@@ -40,6 +40,7 @@ from repro.errors import (
     RecoveryError,
     WatchdogError,
 )
+from repro.ft.protocols import RecoveryProtocol
 from repro.ft.stack import FtStack
 from repro.registry import resolve_component
 from repro.rma.runtime import RmaRuntime
@@ -313,6 +314,11 @@ class Job:
                     if self.sync_each_step:
                         self.runtime.gsync()
                         self._step_boundary_hook()
+                    # Under a tolerant delivery mode, ranks that failed during
+                    # the step were merely suspended; repair them now so the
+                    # next step starts at full membership (and the job never
+                    # ends with invalidated window buffers).
+                    self._qos_repair_hook()
                     step += 1
                     self._steps_executed += 1
                     if self._observers:
@@ -490,6 +496,12 @@ class Job:
             # until the re-execution has caught up with the crash point.
             return
         self.runtime.observe_failures()
+        # A failure may have fired between the previous step's repair and this
+        # boundary (time-based schedules fire at observation points): repair
+        # it before snapshotting, or the checkpoint would trip over the
+        # suspended rank's invalidated buffers.  After the repair any rank
+        # still dead is genuinely non-tolerated and fails the step as before.
+        self._qos_repair_hook()
         dead = [
             r for r in self.cluster.failed_ranks() if r not in self.runtime.excised
         ]
@@ -502,7 +514,9 @@ class Job:
         interval_due = self._interval is not None and step % self._interval == 0
         if interval_due or not self._have_checkpoint:
             began = self.cluster.elapsed()
-            self.ft.checkpointer.checkpoint(tag=step)
+            self._tolerating_suspension(
+                lambda: self.ft.checkpointer.checkpoint(tag=step)
+            )
             self._have_checkpoint = True
             if self._observers:
                 self._notify(
@@ -510,11 +524,71 @@ class Job:
                 )
         elif policy.demand_threshold_bytes is not None:
             began = self.cluster.elapsed()
-            taken = self.ft.checkpointer.maybe_checkpoint(tag=step)
+            taken = self._tolerating_suspension(
+                lambda: self.ft.checkpointer.maybe_checkpoint(tag=step)
+            )
             if taken is not None and self._observers:
                 self._notify(
                     "on_checkpoint", step, began, self.cluster.elapsed(), True
                 )
+
+    def _tolerating_suspension(self, attempt):
+        """Run a checkpoint attempt, repairing tolerated mid-attempt failures.
+
+        The checkpoint's own barriers advance virtual time and can fire a
+        scheduled failure, surfacing as :class:`ProcessFailedError`.  Under a
+        tolerant delivery mode such a failure is a *suspension*, not a
+        rollback trigger: repair the rank and retry the attempt.  Any failure
+        the mode does not tolerate re-raises and drives recovery as before.
+        """
+        while True:
+            try:
+                return attempt()
+            except ProcessFailedError:
+                assert self.ft is not None
+                if not self.ft.delivery.tolerates_failures:
+                    raise
+                self.runtime.observe_failures()
+                suspended = self.runtime.suspended_ranks()
+                if not suspended or any(
+                    r not in suspended
+                    for r in self.cluster.failed_ranks()
+                    if r not in self.runtime.excised
+                ):
+                    raise
+                self._qos_repair_hook()
+
+    def _qos_repair_hook(self) -> None:
+        """Repair suspended ranks in place (tolerant delivery modes only).
+
+        Best-effort repair is the anti-rollback: each suspended rank is
+        respawned and *only its* windows are restored, from the newest
+        checkpoint version that still holds a copy for it (fresh zeroed
+        buffers when none does — possible only before the first commit).
+        Survivors keep their state and their clocks; nothing is re-executed.
+        The repaired rank simply rejoins at the next step, its lost
+        post-checkpoint progress being exactly the result quality the mode
+        trades for never stalling admission.
+        """
+        if self.ft is None or not self.ft.delivery.tolerates_failures:
+            return
+        runtime = self.runtime
+        suspended = sorted(runtime.suspended_ranks())
+        if not suspended:
+            return
+        delivery = self.ft.delivery
+        store = self.ft.store
+        runtime.quiesce_suspended()
+        RecoveryProtocol._respawn(runtime, suspended)
+        for rank in suspended:
+            version = next(
+                (v for v in reversed(store.versions) if store.available(v, rank)),
+                None,
+            )
+            if version is not None:
+                RecoveryProtocol._restore_rank(runtime, store, version, rank)
+            delivery.metrics.count("repairs", rank)
+            self.cluster.metrics.incr("qos.repairs", rank=rank)
 
     def _step_boundary_hook(self) -> None:
         """Bookkeeping at the end of every completed step.

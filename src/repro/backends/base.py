@@ -186,6 +186,35 @@ class Backend(abc.ABC):
         checkpoint by the recovery path.
         """
 
+    def discard_rank(self, src: int) -> list[OpHandle]:
+        """Drop every outstanding operation of origin ``src``, effect-free.
+
+        Used by failure-tolerant delivery modes (:mod:`repro.qos`): a
+        suspended rank's in-flight queue is abandoned without application —
+        an eager backend must roll back what it already applied (the
+        :meth:`set_capture_undo` contract), a deferring backend just drops
+        its queue.  Only called while such a mode is installed; backends
+        that cannot honor it refuse loudly instead of diverging.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not support failure-tolerant "
+            f"delivery (discard_rank)"
+        )
+
+    def discard_targeting(self, src: int, trgs: frozenset[int]) -> list[OpHandle]:
+        """Drop ``src``'s outstanding operations toward the ranks in ``trgs``.
+
+        The complement of :meth:`discard_rank`: a *surviving* origin's
+        in-flight operations toward freshly-suspended targets must leave the
+        queue without being applied (there is no memory to apply them to),
+        so the runtime can resolve them through the delivery mode instead.
+        Returns the removed handles in issue order.
+        """
+        raise BackendError(
+            f"backend {self.name!r} does not support failure-tolerant "
+            f"delivery (discard_targeting)"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(nprocs={self.nprocs}, "

@@ -358,6 +358,11 @@ class ProcBackend(Backend):
     def respawn_rank(self, rank: int) -> None:
         old = self._workers.get(rank)
         if old is not None:
+            if old.process.is_alive():
+                # A *virtually*-failed rank (time-scheduled event, no SIGKILL)
+                # still has a live OS worker; the replacement takes over the
+                # rank, so the stale vehicle is terminated rather than joined.
+                old.process.kill()
             old.process.join(timeout=2.0)
             try:
                 old.conn.close()
@@ -464,6 +469,22 @@ class ProcBackend(Backend):
         discarded = [h for queue in self._queues.values() for h, _ in queue]
         self._queues.clear()
         return discarded
+
+    def discard_rank(self, src: int) -> list[OpHandle]:
+        # The queue was never shipped to the (now dead) worker: dropping it
+        # supervisor-side is effect-free by construction.
+        return [h for h, _ in self._queues.pop(src, [])]
+
+    def discard_targeting(self, src: int, trgs: frozenset[int]) -> list[OpHandle]:
+        queue = self._queues.get(src)
+        if not queue:
+            return []
+        dropped = [h for h, _ in queue if h.action.trg in trgs]
+        if dropped:
+            self._queues[src] = [
+                (h, w) for h, w in queue if h.action.trg not in trgs
+            ]
+        return dropped
 
     # ------------------------------------------------------------------
     # Internals

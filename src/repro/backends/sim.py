@@ -78,9 +78,31 @@ class SimBackend(Backend):
     def discard_pending(self) -> list[OpHandle]:
         entries = [entry for queue in self._pending.values() for entry in queue]
         self._pending.clear()
-        # Undo eagerly-applied writes newest-first so overlapping ranges land
-        # back on their pre-issue contents.  Invalidated (failed) targets are
-        # skipped: their memory is lost and will be restored from a checkpoint.
+        return self._unwind(entries)
+
+    def discard_rank(self, src: int) -> list[OpHandle]:
+        return self._unwind(self._pending.pop(src, []))
+
+    def discard_targeting(self, src: int, trgs: frozenset[int]) -> list[OpHandle]:
+        queue = self._pending.get(src)
+        if not queue:
+            return []
+        dropped = [e for e in queue if e[0].action.trg in trgs]
+        if dropped:
+            self._pending[src] = [e for e in queue if e[0].action.trg not in trgs]
+        return self._unwind(dropped)
+
+    @staticmethod
+    def _unwind(
+        entries: list[tuple[OpHandle, Window, np.ndarray | None]]
+    ) -> list[OpHandle]:
+        """Roll back eagerly-applied effects of dropped entries, in issue order.
+
+        Undo newest-first so overlapping ranges land back on their pre-issue
+        contents.  Invalidated (failed) targets are skipped: their memory is
+        lost and will be restored from a checkpoint (or stays zeroed under a
+        best-effort delivery mode).
+        """
         for handle, win, undo in sorted(
             entries, key=lambda e: e[0].action.seq, reverse=True
         ):

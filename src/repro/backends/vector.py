@@ -71,6 +71,21 @@ class VectorBackend(Backend):
         self._queues.clear()
         return discarded
 
+    def discard_rank(self, src: int) -> list[OpHandle]:
+        # Nothing was applied yet: dropping the queue is already effect-free.
+        return [h for h, _ in self._queues.pop(src, [])]
+
+    def discard_targeting(self, src: int, trgs: frozenset[int]) -> list[OpHandle]:
+        queue = self._queues.get(src)
+        if not queue:
+            return []
+        dropped = [h for h, _ in queue if h.action.trg in trgs]
+        if dropped:
+            self._queues[src] = [
+                (h, w) for h, w in queue if h.action.trg not in trgs
+            ]
+        return dropped
+
     # ------------------------------------------------------------------
     def _apply_batch(self, batch: list[tuple[OpHandle, Window]]) -> None:
         """Apply a queued batch in issue order, coalescing contiguous puts."""

@@ -26,7 +26,7 @@ fails.
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 
 from repro.chaos.metrics import write_events
 from repro.chaos.report import (
@@ -36,13 +36,17 @@ from repro.chaos.report import (
     report_json,
 )
 from repro.chaos.soak import SoakSpec, run_comparison
-from repro.registry import render_available
+from repro.cli import (
+    add_common_arguments,
+    add_report_arguments,
+    csv,
+    handle_list,
+    run_gates,
+    write_outputs,
+)
+from repro.registry import available
 
 __all__ = ["main"]
-
-
-def _csv(value: str) -> tuple[str, ...]:
-    return tuple(item.strip() for item in value.split(",") if item.strip())
 
 
 def quick_spec() -> SoakSpec:
@@ -63,26 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.chaos",
         description="long-horizon soak engine with accelerated virtual time",
     )
-    parser.add_argument(
-        "--list", action="store_true",
-        help="print every registered component of every kind and exit",
-    )
+    add_common_arguments(parser, default_seed=2026)
     parser.add_argument("--workload", default="stencil", help="workload to soak")
     parser.add_argument(
         "--scenario", default="poisson",
         help="failure scenario (poisson, correlated, cascade, flaky)",
     )
     parser.add_argument(
-        "--backends", type=_csv, default=("sim",),
+        "--backends", type=csv, default=("sim",),
         help="comma-separated backends to compare on identical schedules",
     )
     parser.add_argument(
-        "--stores", type=_csv, default=("memory",),
+        "--stores", type=csv, default=("memory",),
         help="comma-separated checkpoint stores to compare",
     )
     parser.add_argument(
-        "--countermeasures", type=_csv, default=("rollback", "replay", "excise"),
+        "--countermeasures", type=csv, default=("rollback", "replay", "excise"),
         help="comma-separated countermeasures to compare (default: all three)",
+    )
+    parser.add_argument(
+        "--delivery", default="reliable",
+        help=f"delivery mode every cell soaks under "
+             f"(registered: {', '.join(available('delivery'))})",
     )
     parser.add_argument(
         "--monitor", default="transitions",
@@ -100,7 +106,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=0.75, metavar="KILLS_PER_ROUND",
         help="expected kills per workload round (default 0.75)",
     )
-    parser.add_argument("--seed", type=int, default=2026, help="soak master seed")
     parser.add_argument("--nprocs", type=int, default=8, help="ranks per job")
     parser.add_argument(
         "--procs-per-node", type=int, default=2, help="ranks packed per node"
@@ -110,39 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="how comparison cells are dispatched (report is identical either way)",
     )
     parser.add_argument(
-        "--quick", action="store_true",
-        help="run the seconds-long CI soak configuration",
-    )
-    parser.add_argument(
-        "--output", default=None, metavar="PATH", help="write the JSON report here"
-    )
-    parser.add_argument(
         "--events", default=None, metavar="PATH",
         help="stream the first cell's JSONL event log here",
     )
-    parser.add_argument(
-        "--markdown", default=None, metavar="PATH",
-        help="write the markdown summary here (always printed to stdout)",
-    )
-    parser.add_argument(
-        "--check-baseline", default=None, metavar="PATH",
-        help="compare against a baseline JSON report and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated MTTR/unavailability ratio against the baseline (default 2.0)",
-    )
-    parser.add_argument(
-        "--skip-invariants", action="store_true",
-        help="do not gate on the comparison invariants (debugging only)",
-    )
+    add_report_arguments(parser, regression_metric="MTTR/unavailability")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.list:
-        print(render_available())
+    if handle_list(args):
         return 0
     if args.quick:
         base = quick_spec()
@@ -150,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         base = SoakSpec(
             workload=args.workload,
             scenario=args.scenario,
+            delivery=args.delivery,
             monitor=args.monitor,
             rounds=args.rounds,
             interval=args.interval,
@@ -167,55 +150,21 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
     )
 
-    markdown = render_markdown(results)
-    print(markdown, end="")
+    json_text = report_json(results)
+    write_outputs(args, render_markdown(results), json_text)
     if args.events:
         write_events(results[0].events, args.events)
         print(f"event log written to {args.events}")
-    report = None
-    if args.output or args.check_baseline:
-        import json
-
-        report = json.loads(report_json(results))
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(report_json(results))
-        print(f"report written to {args.output}")
-    if args.markdown:
-        with open(args.markdown, "w") as fh:
-            fh.write(markdown)
-        print(f"summary written to {args.markdown}")
-
-    status = 0
-    if not args.skip_invariants:
-        violations = check_chaos_invariants(results)
-        for violation in violations:
-            print(f"INVARIANT: {violation}", file=sys.stderr)
-        if violations:
-            status = 1
-        else:
-            print(
-                "invariants hold (replay MTTR < rollback; "
-                "excise availability > both)"
-            )
-    if args.check_baseline:
-        import json
-
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(
-            report, baseline, max_ratio=args.max_regression
-        )
-        for failure in failures:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            status = 1
-        else:
-            print(
-                f"baseline check passed against {args.check_baseline} "
-                f"(tolerance {args.max_regression:.1f}x)"
-            )
-    return status
+    return run_gates(
+        args,
+        check_invariants=lambda: check_chaos_invariants(results),
+        invariants_message=(
+            "invariants hold (replay MTTR < rollback; excise availability > both)"
+        ),
+        check_baseline=lambda baseline, ratio: check_against_baseline(
+            json.loads(json_text), baseline, max_ratio=ratio
+        ),
+    )
 
 
 if __name__ == "__main__":

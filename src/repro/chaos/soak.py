@@ -81,10 +81,13 @@ class Countermeasure:
     #: The recovery-protocol registry name this countermeasure maps onto.
     recovery: str = "global"
 
-    def policy(self, *, store: str, interval: int) -> FaultTolerancePolicy:
+    def policy(
+        self, *, store: str, interval: int, delivery: str = "reliable"
+    ) -> FaultTolerancePolicy:
         """The fault-tolerance policy realizing this countermeasure."""
         return FaultTolerancePolicy(
-            interval=interval, store=store, recovery=self.recovery
+            interval=interval, store=store, recovery=self.recovery,
+            delivery=delivery,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -179,6 +182,9 @@ class SoakSpec:
     backend: str = "sim"
     store: str = "memory"
     countermeasure: str = "rollback"
+    #: Delivery mode under failure (registry kind ``"delivery"``); the plan
+    #: seed excludes it, so reliable vs best-effort soaks face identical kills.
+    delivery: str = "reliable"
     scenario: str = "poisson"
     monitor: str = "transitions"
     #: Consecutive workload rounds the soak drives (one long session).
@@ -202,6 +208,7 @@ class SoakSpec:
             ("backend", self.backend),
             ("store", self.store),
             ("countermeasure", self.countermeasure),
+            ("delivery", self.delivery),
             ("scenario", self.scenario),
             ("monitor", self.monitor),
         ):
@@ -386,7 +393,9 @@ def run_soak(spec: SoakSpec, *, events_path: str | None = None) -> SoakResult:
     with launch(
         spec.nprocs,
         topology=Topology(procs_per_node=spec.procs_per_node, cost_model=cost),
-        ft=countermeasure.policy(store=spec.store, interval=spec.interval),
+        ft=countermeasure.policy(
+            store=spec.store, interval=spec.interval, delivery=spec.delivery
+        ),
         sync_each_step=workload.sync_each_step,
         backend=spec.backend,
         watchdog=spec.watchdog,

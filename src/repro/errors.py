@@ -47,6 +47,23 @@ class ProcessFailedError(SimulationError):
         super().__init__(message or f"process {rank} has failed (fail-stop)")
 
 
+class RankSuspendedError(ProcessFailedError):
+    """A *suspended* rank tried to act as the source of an operation.
+
+    Only raised under a failure-tolerant delivery mode (``repro.qos``):
+    the failed rank itself cannot issue or compute until it is repaired at
+    the next step boundary, but its peers keep running.  The cooperative
+    scheduler catches this per rank and skips the suspended rank's turn;
+    any uncaught path degrades to the fail-stop semantics of the parent
+    class, never to silent progress.
+    """
+
+    def __init__(self, rank: int, message: str | None = None) -> None:
+        super().__init__(
+            rank, message or f"process {rank} is suspended pending repair"
+        )
+
+
 # ---------------------------------------------------------------------------
 # RMA runtime errors
 # ---------------------------------------------------------------------------
@@ -204,3 +221,15 @@ class ServeError(ReproError):
 
     Raised for invalid service specifications, malformed request logs and
     traffic-generator parameters outside their domain."""
+
+
+# ---------------------------------------------------------------------------
+# Quality-of-service errors
+# ---------------------------------------------------------------------------
+
+
+class QosError(ReproError):
+    """Misuse of the delivery-mode subsystem (:mod:`repro.qos`).
+
+    Raised for unknown delivery-mode names, invalid comparison
+    specifications and malformed quality/robustness/speed reports."""

@@ -53,6 +53,7 @@ from repro.ft.stores import (
     CheckpointStore,
     DiskStore,
     MemoryStore,
+    MultiLevelStore,
     ParityStore,
     RestorePayload,
     make_store,
@@ -66,6 +67,7 @@ __all__ = [
     "CheckpointStore",
     "MemoryStore",
     "DiskStore",
+    "MultiLevelStore",
     "ParityStore",
     "RestorePayload",
     "STORES",

@@ -85,6 +85,12 @@ class ActionLog(RmaInterceptor):
         #: Per-origin list of (determinant, nbytes) since the last truncation.
         self.entries: dict[int, list[tuple[tuple, int]]] = {}
         self.bytes_logged: dict[int, int] = {}
+        #: Element ranges written by completed put-like actions since the
+        #: last truncation, keyed ``(target rank, window name)`` — the dirty
+        #: map incremental (multi-level) checkpoints move instead of full
+        #: snapshots.  Kept regardless of ``retain_actions``: ranges are a
+        #: few ints, not pinned payloads.
+        self._dirty: dict[tuple[int, str], list[tuple[int, int]]] = {}
         #: Completed actions since the last truncation, in completion order.
         self.actions: list[CommAction] = []
         #: Positions into :attr:`actions` marking completed job-step
@@ -104,6 +110,10 @@ class ActionLog(RmaInterceptor):
         self.bytes_logged[action.src] = self.bytes_logged.get(action.src, 0) + nbytes
         if self.retain_actions:
             self.actions.append(action)
+        if action.is_put_like:
+            self._dirty.setdefault((action.trg, action.window), []).append(
+                (action.offset, action.count)
+            )
         if self._runtime is not None:
             costs = self._runtime.cluster.costs
             overhead = costs.log_bookkeeping
@@ -149,12 +159,37 @@ class ActionLog(RmaInterceptor):
         """Logged actions whose target is one of ``ranks``, completion order."""
         return [a for a in self.actions if a.trg in ranks]
 
+    def dirty_regions(self) -> dict[tuple[int, str], list[tuple[int, int]]]:
+        """Merged element ranges dirtied by puts since the last truncation.
+
+        Returns ``{(target rank, window name): [(offset, count), ...]}`` with
+        overlapping and adjacent ranges coalesced and sorted by offset.  This
+        is the write-set an incremental checkpoint
+        (:class:`~repro.ft.stores.MultiLevelStore`) ships to its upper levels
+        instead of full window images.  Purely local stores (``ctx.local``
+        writes) never pass through the completion stream and are *not* in
+        this map — incremental consumers must diff those against their mirror
+        themselves.
+        """
+        merged: dict[tuple[int, str], list[tuple[int, int]]] = {}
+        for key, regions in self._dirty.items():
+            spans: list[tuple[int, int]] = []
+            for offset, count in sorted(regions):
+                if spans and offset <= spans[-1][0] + spans[-1][1]:
+                    last_off, last_cnt = spans[-1]
+                    spans[-1] = (last_off, max(last_cnt, offset + count - last_off))
+                else:
+                    spans.append((offset, count))
+            merged[key] = spans
+        return merged
+
     def truncate(self) -> None:
         """Drop the log (a fresh checkpoint makes replaying it unnecessary)."""
         self.entries.clear()
         self.bytes_logged.clear()
         self.actions.clear()
         self.step_marks.clear()
+        self._dirty.clear()
 
 
 class CoordinatedCheckpointer(RmaInterceptor):
@@ -200,6 +235,8 @@ class CoordinatedCheckpointer(RmaInterceptor):
     def attach(self, runtime: "RmaRuntime") -> None:
         self._runtime = runtime
         self.store.bind(runtime, level=self.level)
+        if self.log is not None:
+            self.store.attach_log(self.log)
 
     @property
     def buddies(self) -> dict[int, int]:

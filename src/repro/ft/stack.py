@@ -21,6 +21,7 @@ from repro.ft.checkpoint import ActionLog, CoordinatedCheckpointer
 from repro.ft.protocols import RecoveryProtocol, make_protocol
 from repro.ft.recovery import RecoveryManager
 from repro.ft.stores import CheckpointStore, make_store
+from repro.qos.delivery import DeliveryMode, make_delivery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.rma.runtime import RmaRuntime
@@ -36,6 +37,8 @@ class FtStack:
     log: ActionLog | None
     checkpointer: CoordinatedCheckpointer
     recovery: RecoveryManager
+    #: Delivery mode installed on the runtime (reliable unless declared).
+    delivery: DeliveryMode
 
     @property
     def store(self) -> CheckpointStore:
@@ -51,16 +54,24 @@ class FtStack:
         """Fully detach the stack from ``runtime``.  Idempotent.
 
         Removes the interceptors, closes the store (releasing scratch
-        directories and the like), drops undo capture from the backend and
-        detaches the recovery manager, so nothing in the stack keeps a live
-        reference into a runtime it no longer observes.
+        directories and the like), drops undo capture from the backend,
+        uninstalls the delivery mode and detaches the recovery manager, so
+        nothing in the stack keeps a live reference into a runtime it no
+        longer observes.  The store close runs even when an earlier teardown
+        step raises: a leaked scratch directory outlives the process, a
+        dangling interceptor does not.
         """
-        if self.log is not None:
-            runtime.remove_interceptor(self.log)
-        runtime.remove_interceptor(self.checkpointer)
-        runtime.backend.set_capture_undo(False)
-        self.checkpointer.store.close()
-        self.recovery.detach()
+        try:
+            if self.log is not None:
+                runtime.remove_interceptor(self.log)
+            runtime.remove_interceptor(self.checkpointer)
+            runtime.backend.set_capture_undo(False)
+            runtime.set_delivery(None)
+        finally:
+            try:
+                self.checkpointer.store.close()
+            finally:
+                self.recovery.detach()
 
 
 def build_ft_stack(
@@ -72,6 +83,7 @@ def build_ft_stack(
     log_actions: bool = True,
     store: CheckpointStore | str | None = None,
     recovery: RecoveryProtocol | str | None = None,
+    delivery: DeliveryMode | str | None = None,
 ) -> FtStack:
     """Install the ftRMA protocol on ``runtime`` and return its pieces.
 
@@ -102,6 +114,12 @@ def build_ft_stack(
         the log), ``"degraded"`` (excise failed ranks, continue
         best-effort), or a ready
         :class:`~repro.ft.protocols.RecoveryProtocol` instance.
+    delivery:
+        Delivery mode under failure: ``"reliable"`` (default; any touch of a
+        failed rank raises and a recovery protocol runs), ``"best_effort"``
+        (failed ranks are suspended — operations toward them drop or serve
+        stale checkpoint data, the session repairs them at step boundaries),
+        or a ready :class:`~repro.qos.delivery.DeliveryMode` instance.
     """
     protocol = make_protocol(recovery)
     log: ActionLog | None = None
@@ -118,8 +136,18 @@ def build_ft_stack(
         demand_threshold_bytes=demand_threshold_bytes,
     )
     runtime.add_interceptor(checkpointer)
+    manager = RecoveryManager(runtime, checkpointer, protocol)
+    mode = make_delivery(delivery)
+    mode.bind(runtime, checkpointer.store)
+    runtime.set_delivery(mode)
+    if mode.needs_clean_discard:
+        # A tolerant mode discards in-flight operations toward freshly-failed
+        # ranks effect-free; eagerly-writing backends need undo capture for
+        # that, exactly as survivor-preserving recovery protocols do.
+        runtime.backend.set_capture_undo(True)
     return FtStack(
         log=log,
         checkpointer=checkpointer,
-        recovery=RecoveryManager(runtime, checkpointer, protocol),
+        recovery=manager,
+        delivery=mode,
     )

@@ -19,6 +19,11 @@ ship:
   group (a different set of failure domains).  ~``1 + 1/k`` memory overhead
   instead of 2x; any single failure per group is reconstructed from the
   survivors plus the parity.
+* :class:`MultiLevelStore` (``"multilevel"``) — a hierarchy (§5–§7): the base
+  child store places every checkpoint, while parity-/disk-class upper levels
+  keep full mirrors refreshed *incrementally* (action-log dirty regions) every
+  n-th checkpoint, so rare large failures are covered without paying the
+  far-away placement cost every time.
 
 Stores are resolved by name through :data:`STORES` (the same convention as
 ``backend="sim"|"vector"``) and are orthogonal to the
@@ -50,6 +55,7 @@ __all__ = [
     "MemoryStore",
     "DiskStore",
     "ParityStore",
+    "MultiLevelStore",
     "STORES",
     "make_store",
 ]
@@ -171,6 +177,13 @@ class CheckpointStore(abc.ABC):
                 f"instance per job"
             )
         self._runtime = runtime
+
+    def attach_log(self, log: Any) -> None:
+        """Offer the job's :class:`~repro.ft.checkpoint.ActionLog` to the store.
+
+        Most placements ignore it; :class:`MultiLevelStore` reads the log's
+        dirty-region map to ship only changed bytes to its upper levels.
+        """
 
     @property
     def runtime(self) -> "RmaRuntime":
@@ -601,11 +614,267 @@ class ParityStore(CheckpointStore):
         return total
 
 
+@dataclass
+class _Level:
+    """One upper level of a :class:`MultiLevelStore`."""
+
+    #: Redundancy class of the level: ``"parity"`` (cross-domain transfer
+    #: costs) or ``"disk"`` (shared-bandwidth PFS costs).
+    kind: str
+    #: Capture cadence: update the mirror every ``every``-th committed
+    #: checkpoint (the first checkpoint always seeds a full image).
+    every: int
+    #: Full window mirrors at the last capture: ``rank -> window -> data``.
+    mirrors: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+    #: Version number the mirrors correspond to (``None`` before any capture).
+    captured_version: int | None = None
+    #: Dirty write-set accumulated since the last capture, merged from the
+    #: action log at every base checkpoint: ``(rank, window) -> [(off, cnt)]``.
+    dirty: dict[tuple[int, str], list[tuple[int, int]]] = field(default_factory=dict)
+    #: Captures performed (first is full, the rest incremental).
+    captures: int = 0
+
+
+class MultiLevelStore(CheckpointStore):
+    """Hierarchical multi-level checkpointing with incremental upper levels.
+
+    The paper's cost model (§5–§7) prices a *hierarchy* of failure domains:
+    cheap in-memory copies guard single-node loss, while rarer, larger
+    failures (a rank **and** its buddy, a whole domain) need copies placed
+    further away — at a cost that would be ruinous to pay every checkpoint.
+    This store composes the existing placements into such a hierarchy:
+
+    * the **base** child store (default :class:`MemoryStore`) places every
+      coordinated checkpoint exactly as today;
+    * each **upper level** (``kind`` ``"parity"`` or ``"disk"``) keeps a full
+      mirror of every rank's windows, refreshed only every ``every``-th
+      committed checkpoint — and refreshed *incrementally*: the action log's
+      :meth:`~repro.ft.checkpoint.ActionLog.dirty_regions` write-set, merged
+      across the checkpoints since the level's last capture, determines which
+      bytes move; a content diff against the mirror catches local stores the
+      log never sees.  Moved bytes are metered as ``ft.multilevel_moved_bytes``
+      against the ``ft.multilevel_full_bytes`` a non-incremental level would
+      have shipped.
+
+    A version whose base copies were lost (buddy pair failed together — the
+    :class:`MemoryStore`'s catastrophic case) or evicted stays recoverable as
+    long as an upper level captured it: evicted captured versions are kept as
+    stripped archives (protocol state only, window data served from the
+    mirrors), extending restore reach beyond ``keep_versions``.
+    """
+
+    name = "multilevel"
+
+    #: Default hierarchy: a parity-class level every 2nd checkpoint and a
+    #: disk-class level every 4th.
+    DEFAULT_LEVELS: tuple[tuple[str, int], ...] = (("parity", 2), ("disk", 4))
+
+    #: Level kinds with a defined cost mapping.
+    LEVEL_KINDS = ("parity", "disk")
+
+    def __init__(
+        self,
+        keep_versions: int = 2,
+        base: "str | CheckpointStore | None" = "memory",
+        levels: "tuple[tuple[str, int], ...] | None" = None,
+    ) -> None:
+        super().__init__(keep_versions)
+        self.base = make_store(base, keep_versions=keep_versions)
+        if isinstance(self.base, MultiLevelStore):
+            raise CheckpointError("multilevel stores do not nest")
+        specs = tuple(levels) if levels is not None else self.DEFAULT_LEVELS
+        if not specs:
+            raise CheckpointError(
+                "a multilevel store needs at least one upper level; use the "
+                "base store directly instead"
+            )
+        self.levels: list[_Level] = []
+        for kind, every in specs:
+            if kind not in self.LEVEL_KINDS:
+                raise CheckpointError(
+                    f"unknown multilevel level kind {kind!r}; choose from "
+                    f"{list(self.LEVEL_KINDS)}"
+                )
+            if int(every) < 1:
+                raise CheckpointError("level capture cadence must be at least 1")
+            self.levels.append(_Level(kind=kind, every=int(every)))
+        #: Evicted-but-captured versions, stripped of base copies: the upper
+        #: mirrors still serve their window data.
+        self.archived: dict[int, CheckpointVersion] = {}
+        self._log: Any = None
+        self._committed = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, runtime: "RmaRuntime", *, level: int = 1) -> None:
+        super().bind(runtime, level=level)
+        self.base.bind(runtime, level=level)
+
+    def attach_log(self, log: Any) -> None:
+        self._log = log
+
+    @property
+    def buddies(self) -> dict[int, int]:
+        return getattr(self.base, "buddies", {})
+
+    def set_level_intervals(self, intervals: "list[int]") -> None:
+        """Install capture cadences, e.g. resolved by the analytic model
+        (:meth:`repro.study.model.IntervalModel.multilevel_intervals`)."""
+        if len(intervals) != len(self.levels):
+            raise CheckpointError(
+                f"expected {len(self.levels)} cadences, got {len(intervals)}"
+            )
+        for lvl, every in zip(self.levels, intervals):
+            if int(every) < 1:
+                raise CheckpointError("level capture cadence must be at least 1")
+            lvl.every = int(every)
+
+    def close(self) -> None:
+        self.base.close()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _place(self, version: CheckpointVersion, snapshots: Snapshots) -> None:
+        self.base._place(version, snapshots)
+        dirty = self._log.dirty_regions() if self._log is not None else {}
+        for lvl in self.levels:
+            for key, spans in dirty.items():
+                lvl.dirty.setdefault(key, []).extend(spans)
+        # Cadence counts *committed* checkpoints so that a retried attempt
+        # (failure between the barriers) makes the same capture decision and
+        # the last attempt before the commit wins.
+        slot = self._committed + 1
+        for lvl in self.levels:
+            if slot == 1 or slot % lvl.every == 0:
+                self._capture(lvl, version, snapshots)
+
+    def _capture(
+        self, lvl: _Level, version: CheckpointVersion, snapshots: Snapshots
+    ) -> None:
+        cluster = self.runtime.cluster
+        costs = cluster.costs
+        writers = max(1, len(snapshots))
+        for rank, windows in snapshots.items():
+            mirrors = lvl.mirrors.setdefault(rank, {})
+            moved = 0
+            full = 0
+            for name, data in windows.items():
+                full += int(data.nbytes)
+                mirror = mirrors.get(name)
+                if (
+                    mirror is None
+                    or mirror.shape != data.shape
+                    or mirror.dtype != data.dtype
+                ):
+                    mirrors[name] = np.array(data, copy=True)
+                    moved += int(data.nbytes)
+                    continue
+                flat = data.reshape(-1)
+                mirror_flat = mirror.reshape(-1)
+                mask = np.zeros(flat.shape[0], dtype=bool)
+                for offset, count in lvl.dirty.get((rank, name), ()):
+                    mask[offset : offset + count] = True
+                # Local stores bypass the completion stream; diff the rest
+                # against the mirror so the capture is always bit-exact.
+                mask |= (flat != mirror_flat) & ~mask
+                changed = int(np.count_nonzero(mask))
+                if changed:
+                    mirror_flat[mask] = flat[mask]
+                moved += changed * int(data.dtype.itemsize)
+            if lvl.kind == "disk":
+                seconds = costs.pfs_write(moved, concurrent_writers=writers)
+            else:
+                seconds = costs.remote_transfer(moved)
+            cluster.advance(rank, seconds, kind="protocol")
+            cluster.metrics.incr("ft.multilevel_moved_bytes", moved, rank=rank)
+            cluster.metrics.incr("ft.multilevel_full_bytes", full, rank=rank)
+            cluster.metrics.incr("ft.checkpoint_bytes", moved, rank=rank)
+        # Drop mirrors of ranks excised since the previous capture.
+        for rank in [r for r in lvl.mirrors if r not in snapshots]:
+            del lvl.mirrors[rank]
+        lvl.dirty.clear()
+        lvl.captured_version = version.version
+        lvl.captures += 1
+
+    def commit(self, version: CheckpointVersion) -> CheckpointVersion:
+        committed = super().commit(version)
+        self._committed += 1
+        self._prune_archive()
+        return committed
+
+    def _evict(self, version: CheckpointVersion) -> None:
+        self.base._evict(version)
+        if any(lvl.captured_version == version.version for lvl in self.levels):
+            # An upper level still serves this version's window data; keep
+            # the protocol state, drop the (already-evicted) base copies.
+            version.local = {}
+            version.remote = {}
+            self.archived[version.version] = version
+
+    def _prune_archive(self) -> None:
+        live = {lvl.captured_version for lvl in self.levels}
+        for vnum in [v for v in self.archived if v not in live]:
+            del self.archived[vnum]
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def available(self, version: CheckpointVersion, rank: int) -> bool:
+        if self.base.available(version, rank):
+            return True
+        return any(
+            lvl.captured_version == version.version and rank in lvl.mirrors
+            for lvl in self.levels
+        )
+
+    def fetch(self, version: CheckpointVersion, rank: int) -> RestorePayload | None:
+        payload = self.base.fetch(version, rank)
+        if payload is not None:
+            return payload
+        costs = self.runtime.cluster.costs
+        for lvl in self.levels:
+            if lvl.captured_version != version.version or rank not in lvl.mirrors:
+                continue
+            windows = {name: data.copy() for name, data in lvl.mirrors[rank].items()}
+            nbytes = sum(int(data.nbytes) for data in windows.values())
+            if lvl.kind == "disk":
+                seconds = costs.pfs_read(nbytes)
+            else:
+                seconds = costs.remote_transfer(nbytes)
+            return RestorePayload(f"multilevel-{lvl.kind}", windows, nbytes, seconds)
+        return None
+
+    def latest_usable(self, ranks: list[int]) -> CheckpointVersion | None:
+        found = super().latest_usable(ranks)
+        if found is not None:
+            return found
+        for version in sorted(
+            self.archived.values(), key=lambda v: v.version, reverse=True
+        ):
+            if all(self.available(version, rank) for rank in ranks):
+                return version
+        return None
+
+    # ------------------------------------------------------------------
+    def _drop(self, version: CheckpointVersion, rank: int) -> None:
+        # Base copies in the failed rank's memory are lost; the upper-level
+        # mirrors live across the failure domain the level guards and survive.
+        self.base._drop(version, rank)
+
+    def nbytes(self) -> int:
+        total = super().nbytes() + self.base.nbytes()
+        for lvl in self.levels:
+            for windows in lvl.mirrors.values():
+                total += sum(int(data.nbytes) for data in windows.values())
+        return total
+
+
 #: Registry of constructable checkpoint stores, by name.
 STORES: dict[str, type[CheckpointStore]] = {
     MemoryStore.name: MemoryStore,
     DiskStore.name: DiskStore,
     ParityStore.name: ParityStore,
+    MultiLevelStore.name: MultiLevelStore,
 }
 register_kind("store", STORES)
 

@@ -49,6 +49,7 @@ _BUILTIN_KIND_MODULES = (
     "repro.chaos.monitor",
     "repro.chaos.soak",
     "repro.serve.service",
+    "repro.qos.delivery",
 )
 
 #: Whether every built-in seam module has been imported already (memoized so

@@ -42,7 +42,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ProcessFailedError, SynchronizationError
+from repro.errors import (
+    LockError,
+    ProcessFailedError,
+    RankSuspendedError,
+    SynchronizationError,
+)
 from repro.rma.actions import (
     AccumulateOp,
     CommAction,
@@ -62,6 +67,7 @@ from repro.simulator.cluster import Cluster
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.backends.base import Backend
+    from repro.qos.delivery import DeliveryMode
 
 __all__ = ["RmaRuntime"]
 
@@ -118,6 +124,9 @@ class RmaRuntime:
         #: never respawned, their kernels are skipped, operations targeting
         #: them are dropped and reads observe zeroed buffers.
         self.excised: frozenset[int] = frozenset()
+        #: Installed delivery mode (:mod:`repro.qos`); ``None`` behaves
+        #: exactly like the reliable mode — every failure path is fatal.
+        self.delivery: "DeliveryMode | None" = None
 
     @property
     def windows(self) -> WindowRegistry:
@@ -134,6 +143,32 @@ class RmaRuntime:
     def remove_interceptor(self, interceptor: RmaInterceptor) -> None:
         """Unregister ``interceptor``."""
         self.interceptors.remove(interceptor)
+
+    # ------------------------------------------------------------------
+    # Delivery modes (repro.qos)
+    # ------------------------------------------------------------------
+    def set_delivery(self, mode: "DeliveryMode | None") -> None:
+        """Install the delivery mode consulted on every failure path.
+
+        ``None`` (the default) and the reliable mode are indistinguishable:
+        any touch of a failed rank raises.  A tolerant mode (best-effort)
+        turns failed non-excised ranks into *suspended* ones — operations
+        toward them drop or serve stale data, the suspended rank's own calls
+        raise :class:`~repro.errors.RankSuspendedError` (which the scheduler
+        catches per rank), and the session repairs them at step boundaries.
+        """
+        self.delivery = mode
+
+    def suspended_ranks(self) -> frozenset[int]:
+        """Failed ranks the installed delivery mode tolerates (usually empty).
+
+        Backend-independent at every point of the program: the failed set
+        only changes at injector-controlled completion-stream positions,
+        which are identical across sim/vector/proc by construction.
+        """
+        if self.delivery is None:
+            return frozenset()
+        return self.delivery.suspended(self)
 
     # ------------------------------------------------------------------
     # Window lifecycle
@@ -164,6 +199,8 @@ class RmaRuntime:
         when the rank was removed), so degraded jobs can still gather results.
         """
         if rank not in self.excised:
+            if rank in self.suspended_ranks():
+                raise RankSuspendedError(rank)
             self.cluster.ensure_alive(rank)
         return self.windows.get(window).local(rank)
 
@@ -178,6 +215,8 @@ class RmaRuntime:
         the end of the window".
         """
         if rank not in self.excised:
+            if rank in self.suspended_ranks():
+                raise RankSuspendedError(rank)
             self.cluster.ensure_alive(rank)
         win = self.windows.get(window)
         if count is None:
@@ -346,8 +385,22 @@ class RmaRuntime:
     # Synchronization actions
     # ------------------------------------------------------------------
     def lock(self, src: int, trg: int, structure: str | None = None) -> SyncAction:
-        """Acquire a lock on ``trg``; fetches-and-increments ``SC_trg`` (§4.1 C)."""
+        """Acquire a lock on ``trg``; fetches-and-increments ``SC_trg`` (§4.1 C).
+
+        Toward a rank suspended by a tolerant delivery mode the sync *drops*:
+        there is no lock manager to talk to on dead hardware, no ``SC`` is
+        consumed, and the caller proceeds against stale/zero data (counted in
+        the mode's :class:`~repro.qos.delivery.QosMetrics`).
+        """
         self._pre_action(src, trg)
+        if self.delivery is not None and trg in self.suspended_ranks():
+            action = SyncAction(
+                kind=SyncKind.LOCK, src=src, trg=trg,
+                counters=self._stamp(src, trg), structure=structure,
+            )
+            self.delivery.metrics.count("dropped_syncs", src)
+            self.cluster.metrics.incr("qos.dropped_syncs", rank=src)
+            return action
         sc = self.counters.on_lock(src, trg, structure)
         action = SyncAction(
             kind=SyncKind.LOCK, src=src, trg=trg,
@@ -356,8 +409,28 @@ class RmaRuntime:
         return self._issue_sync(action, cost=self.cluster.costs.lock())
 
     def unlock(self, src: int, trg: int, structure: str | None = None) -> SyncAction:
-        """Release a lock on ``trg``; completes and closes the epoch (§2.2)."""
+        """Release a lock on ``trg``; completes and closes the epoch (§2.2).
+
+        Toward a suspended rank the release degrades gracefully: a lock
+        acquired before the target died is released locally, one whose
+        acquisition was itself dropped unwinds without error, and the pair's
+        in-flight operations resolve through the delivery mode.
+        """
         self._pre_action(src, trg)
+        if self.delivery is not None and trg in self.suspended_ranks():
+            try:
+                self.counters.on_unlock(src, trg, structure)
+            except LockError:
+                pass  # the matching lock itself was dropped
+            self._complete_pair(src, trg)  # resolves in-flights via the mode
+            self.epochs.close_epoch(src, trg)
+            action = SyncAction(
+                kind=SyncKind.UNLOCK, src=src, trg=trg,
+                counters=self._stamp(src, trg), structure=structure,
+            )
+            self.delivery.metrics.count("dropped_syncs", src)
+            self.cluster.metrics.incr("qos.dropped_syncs", rank=src)
+            return action
         self.counters.on_unlock(src, trg, structure)
         self._complete_pair(src, trg)
         action = SyncAction(
@@ -389,13 +462,17 @@ class RmaRuntime:
     def flush_all(self, src: int) -> SyncAction:
         """Complete all outstanding operations of ``src`` (MPI_Win_flush_all)."""
         self.observe_failures()
+        suspended = self.suspended_ranks()
+        if src in suspended:
+            raise RankSuspendedError(src)
         self.cluster.ensure_alive(src)
         # Completing towards a dead target must fail *before* any effect is
         # applied, on every backend alike — an eager backend already wrote the
         # bytes, a batching one has not, so the liveness check (not the apply)
-        # has to be the common failure point.
+        # has to be the common failure point.  Suspended targets are exempt:
+        # their in-flight operations resolve through the delivery mode.
         for pair_src, trg in list(self._accrued):
-            if pair_src == src:
+            if pair_src == src and trg not in suspended:
                 self.cluster.ensure_alive(trg)
         self._complete_rank(src)
         pending = self.epochs.pending(src)
@@ -428,13 +505,17 @@ class RmaRuntime:
         # resumed would perform post-sync local stores the action log never
         # sees, which a localized replay could then not reconstruct.
         self.observe_failures()
-        failed = [r for r in self.cluster.failed_ranks() if r not in self.excised]
+        suspended = self.suspended_ranks()
+        failed = [
+            r for r in self.cluster.failed_ranks()
+            if r not in self.excised and r not in suspended
+        ]
         if failed:
             raise ProcessFailedError(
                 failed[0], f"gsync observed failed ranks {failed} (fail-stop)"
             )
         cost = self.cluster.costs.gsync(self.nprocs)
-        self.cluster.barrier(cost=cost)  # raises on failed participants
+        self._collective_barrier(cost=cost)  # raises on failed participants
         self.counters.on_gsync()
         self.epochs.close_global_epoch()
         actions = []
@@ -455,7 +536,34 @@ class RmaRuntime:
     def barrier(self) -> float:
         """Plain barrier (no window synchronization, no epoch effect)."""
         self._ensure_all_alive("barrier")
-        return self.cluster.barrier()
+        return self._collective_barrier()
+
+    def _collective_barrier(self, cost: float | None = None) -> float:
+        """Cluster barrier that tolerates mid-barrier suspensions.
+
+        Advancing the survivors' clocks to the barrier point can itself fire
+        a time-scheduled failure, which :meth:`~repro.simulator.cluster.
+        Cluster.barrier` reports as :class:`ProcessFailedError`.  Under a
+        tolerant delivery mode a participant that merely became *suspended*
+        must not abort the collective: the failure is folded into the
+        suspended set and the survivors re-synchronize without it.  The
+        retry's time points are injector-controlled, hence identical across
+        backends — determinism is unaffected.
+        """
+        while True:
+            try:
+                return self.cluster.barrier(cost=cost)
+            except ProcessFailedError:
+                self.observe_failures()
+                suspended = self.suspended_ranks()
+                if not suspended:
+                    raise
+                failed = [
+                    r for r in self.cluster.failed_ranks()
+                    if r not in self.excised and r not in suspended
+                ]
+                if failed:
+                    raise
 
     # ------------------------------------------------------------------
     # Compute and lifecycle
@@ -468,6 +576,8 @@ class RmaRuntime:
         values they already hold, so their charge is suppressed — in a real
         system they would be waiting for the recovering processes (§4.2).
         """
+        if rank in self.suspended_ranks():
+            raise RankSuspendedError(rank)
         self.cluster.ensure_alive(rank)
         if self._replay is not None and rank not in self._replay.restoring:
             return self.cluster.now(rank)
@@ -544,6 +654,26 @@ class RmaRuntime:
         self._accrued.clear()
         self.epochs.clear_pending()
         return len(discarded)
+
+    def quiesce_suspended(self) -> None:
+        """Drain in-flight operations involving suspended ranks, effect-free.
+
+        Called by the session immediately before *repairing* suspended ranks
+        (:mod:`repro.qos`): an operation still queued toward a rank about to
+        be respawned-and-restored would otherwise apply after the restore on
+        deferring backends but before it on the eager one, breaking backend
+        identity.  Survivor operations toward the suspended ranks resolve
+        through the delivery mode (drop/stale, same deterministic hash as
+        post-failure issues); the suspended ranks' own queues are abandoned.
+        """
+        suspended = self.suspended_ranks()
+        if not suspended:
+            return
+        for src in range(self.cluster.nprocs):
+            if src in suspended:
+                self._discard_from(src)
+            elif self.backend.pending_ops(src):
+                self._discard_toward(src, suspended)
 
     # ------------------------------------------------------------------
     # Log-driven replay (localized recovery, §7)
@@ -623,10 +753,16 @@ class RmaRuntime:
         even one whose failure was observed earlier — makes it raise; this is
         how the paper's applications learn they must recover before
         synchronizing again (§2.4).  Excised ranks are no longer members of
-        the (shrunk) job and do not count.
+        the (shrunk) job and do not count — and neither do ranks a tolerant
+        delivery mode merely *suspends* (they are repaired at the next step
+        boundary; the survivors' collective proceeds without them).
         """
         self.observe_failures()
-        dead = [r for r in self.cluster.failed_ranks() if r not in self.excised]
+        suspended = self.suspended_ranks()
+        dead = [
+            r for r in self.cluster.failed_ranks()
+            if r not in self.excised and r not in suspended
+        ]
         if dead:
             raise ProcessFailedError(dead[0], f"{what} observed failed ranks {dead}")
 
@@ -635,11 +771,18 @@ class RmaRuntime:
 
         A target excised by a degraded continuation is exempt — operations
         towards it are dropped later rather than raising, which is what lets
-        survivors keep running without recovery code.
+        survivors keep running without recovery code.  A target *suspended*
+        by a tolerant delivery mode is likewise exempt (the issue path will
+        resolve the operation as a drop or stale read); a suspended *source*
+        raises :class:`~repro.errors.RankSuspendedError` so the scheduler
+        skips just that rank's turn.
         """
         self.observe_failures(self.cluster.now(src))
+        suspended = self.suspended_ranks()
+        if src in suspended:
+            raise RankSuspendedError(src)
         self.cluster.ensure_alive(src)
-        if trg not in self.excised:
+        if trg not in self.excised and trg not in suspended:
             self.cluster.ensure_alive(trg)
 
     @staticmethod
@@ -715,6 +858,15 @@ class RmaRuntime:
             handle._mark_completed()
             self.cluster.metrics.incr("ft.dropped_ops", rank=action.src)
             return handle
+        if self.delivery is not None and action.trg in self.suspended_ranks():
+            # Tolerated by the delivery mode: resolved right here (drop or
+            # stale service) — the operation never reaches the backend, the
+            # action log, the epochs or the accrual, exactly like the excised
+            # path above; it is not part of any committed state.
+            handle = OpHandle(action)
+            self.delivery.resolve(action, win, self)
+            handle._mark_completed()
+            return handle
         if self._replay is not None:
             logged = self._replay.consume(action)
             if logged is not None:
@@ -754,6 +906,9 @@ class RmaRuntime:
 
     def _complete_pair(self, src: int, trg: int) -> None:
         """Complete all outstanding ``src -> trg`` ops: apply, notify, charge."""
+        if trg in self.suspended_ranks():
+            self._discard_toward(src, frozenset((trg,)))
+            return
         self._retire(self.backend.complete(src, trg))
         self._charge_accrued(src, trg)
 
@@ -767,7 +922,19 @@ class RmaRuntime:
         in-process backends refuse at the exact same point, so completion
         streams — and everything downstream, like the action log a localized
         replay trusts — stay bit-identical across backends.
+
+        Under a tolerant delivery mode the same two situations resolve
+        without raising: a suspended origin's queue is abandoned (poisoned
+        handles, like a rollback's discard), and a surviving origin's
+        in-flight operations toward suspended targets are resolved through
+        the mode (drop or stale service) instead of being applied.
         """
+        suspended = self.suspended_ranks()
+        if src in suspended:
+            self._discard_from(src)
+            return
+        if suspended:
+            self._discard_toward(src, suspended)
         if (
             src not in self.excised
             and not self.cluster.is_alive(src)
@@ -777,6 +944,44 @@ class RmaRuntime:
         self._retire(self.backend.complete_rank(src))
         for key in [k for k in self._accrued if k[0] == src]:
             self._charge_accrued(*key)
+
+    def _discard_toward(self, src: int, trgs: frozenset[int]) -> None:
+        """Resolve ``src``'s in-flight ops toward suspended targets, effect-free.
+
+        The operations were issued while their target was still alive; under
+        a tolerant delivery mode their completion becomes a drop/stale
+        resolution (there is no memory to apply them to) with the same
+        deterministic hash as operations issued after the failure.  Their
+        accrued network cost is dropped with them: the message was never
+        delivered.
+        """
+        assert self.delivery is not None
+        for handle in self.backend.discard_targeting(src, trgs):
+            action = handle.action
+            self.delivery.resolve(action, self.windows.get(action.window), self)
+            handle._mark_completed()
+        for trg in trgs:
+            self._accrued.pop((src, trg), None)
+
+    def _discard_from(self, src: int) -> None:
+        """Abandon a suspended origin's whole in-flight queue (fail-stop).
+
+        The dead rank performs no further operations: its handles are
+        poisoned exactly as a rollback's discard poisons them, and nothing
+        is charged to its clock — the repair at the next step boundary
+        restores it from the newest checkpoint instead.
+        """
+        assert self.delivery is not None
+        handles = self.backend.discard_rank(src)
+        for handle in handles:
+            handle._mark_discarded()
+        if handles:
+            self.delivery.metrics.count("discarded_inflight", src, len(handles))
+            self.cluster.metrics.incr(
+                "qos.discarded_inflight", len(handles), rank=src
+            )
+        for key in [k for k in self._accrued if k[0] == src]:
+            del self._accrued[key]
 
     def _retire(self, handles: list[OpHandle]) -> None:
         """Mark completed handles and emit the completion stream to interceptors."""

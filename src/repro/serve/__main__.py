@@ -25,9 +25,17 @@ fails.
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 
-from repro.registry import render_available
+from repro.cli import (
+    add_common_arguments,
+    add_report_arguments,
+    csv,
+    handle_list,
+    run_gates,
+    write_outputs,
+)
+from repro.registry import available
 from repro.serve.engine import ServeSpec, run_slo_comparison
 from repro.serve.report import (
     check_against_baseline,
@@ -38,10 +46,6 @@ from repro.serve.report import (
 )
 
 __all__ = ["main"]
-
-
-def _csv(value: str) -> tuple[str, ...]:
-    return tuple(item.strip() for item in value.split(",") if item.strip())
 
 
 def quick_spec() -> ServeSpec:
@@ -61,21 +65,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.serve",
         description="sharded resilient KV service with open-loop traffic and latency SLOs",
     )
+    add_common_arguments(parser, default_seed=2026)
     parser.add_argument(
-        "--list", action="store_true",
-        help="print every registered component of every kind and exit",
-    )
-    parser.add_argument(
-        "--backends", type=_csv, default=("sim",),
+        "--backends", type=csv, default=("sim",),
         help="comma-separated backends to compare on identical traffic",
     )
     parser.add_argument(
-        "--stores", type=_csv, default=("memory",),
+        "--stores", type=csv, default=("memory",),
         help="comma-separated checkpoint stores to compare",
     )
     parser.add_argument(
-        "--recoveries", type=_csv, default=("global", "localized", "degraded"),
+        "--recoveries", type=csv, default=("global", "localized", "degraded"),
         help="comma-separated recovery protocols to compare (default: all three)",
+    )
+    parser.add_argument(
+        "--delivery", default="reliable",
+        help=f"delivery mode every cell serves under "
+             f"(registered: {', '.join(available('delivery'))})",
     )
     parser.add_argument("--steps", type=int, default=40, help="job steps to serve")
     parser.add_argument(
@@ -101,7 +107,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--compression", type=float, default=1000.0,
         help="virtual-time compression factor (default 1000x)",
     )
-    parser.add_argument("--seed", type=int, default=2026, help="traffic + plan seed")
     parser.add_argument("--nprocs", type=int, default=8, help="ranks (= shards) per job")
     parser.add_argument(
         "--procs-per-node", type=int, default=2, help="ranks packed per node"
@@ -119,44 +124,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="how comparison cells are dispatched (report is identical either way)",
     )
     parser.add_argument(
-        "--quick", action="store_true",
-        help="run the seconds-long CI serving configuration",
-    )
-    parser.add_argument(
-        "--output", default=None, metavar="PATH", help="write the JSON report here"
-    )
-    parser.add_argument(
         "--requests", default=None, metavar="PATH",
         help="write the canonical JSONL request log (all cells) here",
     )
-    parser.add_argument(
-        "--markdown", default=None, metavar="PATH",
-        help="write the markdown SLO table here (always printed to stdout)",
-    )
-    parser.add_argument(
-        "--check-baseline", default=None, metavar="PATH",
-        help="compare against a baseline JSON report and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated p99 ratio against the baseline (default 2.0)",
-    )
-    parser.add_argument(
-        "--skip-invariants", action="store_true",
-        help="do not gate on the comparison invariants (debugging only)",
-    )
+    add_report_arguments(parser, regression_metric="p99")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.list:
-        print(render_available())
+    if handle_list(args):
         return 0
     if args.quick:
         base = quick_spec()
     else:
         base = ServeSpec(
+            delivery=args.delivery,
             steps=args.steps,
             rate_per_step=args.rate,
             zipf_s=args.zipf,
@@ -179,55 +162,22 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
     )
 
-    markdown = render_markdown(results)
-    print(markdown, end="")
+    json_text = report_json(results)
+    write_outputs(args, render_markdown(results), json_text)
     if args.requests:
         count = write_requests(results, args.requests)
         print(f"{count} request rows written to {args.requests}")
-    report = None
-    if args.output or args.check_baseline:
-        import json
-
-        report = json.loads(report_json(results))
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(report_json(results))
-        print(f"report written to {args.output}")
-    if args.markdown:
-        with open(args.markdown, "w") as fh:
-            fh.write(markdown)
-        print(f"summary written to {args.markdown}")
-
-    status = 0
-    if not args.skip_invariants:
-        violations = check_serve_invariants(results)
-        for violation in violations:
-            print(f"INVARIANT: {violation}", file=sys.stderr)
-        if violations:
-            status = 1
-        else:
-            print(
-                "invariants hold (localized recovery p99 < global; "
-                "degraded errs but stays flat)"
-            )
-    if args.check_baseline:
-        import json
-
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(
-            report, baseline, max_ratio=args.max_regression
-        )
-        for failure in failures:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            status = 1
-        else:
-            print(
-                f"baseline check passed against {args.check_baseline} "
-                f"(tolerance {args.max_regression:.1f}x)"
-            )
-    return status
+    return run_gates(
+        args,
+        check_invariants=lambda: check_serve_invariants(results),
+        invariants_message=(
+            "invariants hold (localized recovery p99 < global; "
+            "degraded errs but stays flat)"
+        ),
+        check_baseline=lambda baseline, ratio: check_against_baseline(
+            json.loads(json_text), baseline, max_ratio=ratio
+        ),
+    )
 
 
 if __name__ == "__main__":

@@ -60,6 +60,8 @@ class ServeSpec:
     store: str = "memory"
     #: Recovery-protocol registry name: "global", "localized" or "degraded".
     recovery: str = "global"
+    #: Delivery mode under failure (registry kind ``"delivery"``).
+    delivery: str = "reliable"
     nprocs: int = 8
     procs_per_node: int = 2
     #: Slots per shard (one shard per rank).
@@ -92,6 +94,7 @@ class ServeSpec:
             ("backend", self.backend),
             ("store", self.store),
             ("recovery", self.recovery),
+            ("delivery", self.delivery),
         ):
             known = available(kind)
             if name not in known:
@@ -293,7 +296,8 @@ def run_service(spec: ServeSpec) -> ServeResult:
         spec.nprocs,
         topology=Topology(procs_per_node=spec.procs_per_node, cost_model=cost),
         ft=FaultTolerancePolicy(
-            interval=spec.interval, store=spec.store, recovery=spec.recovery
+            interval=spec.interval, store=spec.store, recovery=spec.recovery,
+            delivery=spec.delivery,
         ),
         sync_each_step=service.sync_each_step,
         backend=spec.backend,

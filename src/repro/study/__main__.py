@@ -24,9 +24,16 @@ Exit status 1 when an invariant is violated or the baseline gate fails.
 from __future__ import annotations
 
 import argparse
-import sys
 
-from repro.registry import available, render_available
+from repro.cli import (
+    add_common_arguments,
+    add_report_arguments,
+    csv,
+    handle_list,
+    run_gates,
+    write_outputs,
+)
+from repro.registry import available
 from repro.study.campaign import (
     CampaignSpec,
     check_against_baseline,
@@ -40,19 +47,15 @@ from repro.study.campaign import (
 __all__ = ["main"]
 
 
-def _csv(value: str) -> tuple[str, ...]:
-    return tuple(item.strip() for item in value.split(",") if item.strip())
-
-
 def _intervals(value: str) -> tuple[int | str, ...]:
     out: list[int | str] = []
-    for item in _csv(value):
+    for item in csv(value):
         out.append(item if item == "auto" else int(item))
     return tuple(out)
 
 
 def _floats(value: str) -> tuple[float, ...]:
-    return tuple(float(item) for item in _csv(value))
+    return tuple(float(item) for item in csv(value))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,25 +63,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.study",
         description="Monte-Carlo resilience-study campaign runner",
     )
+    add_common_arguments(parser, default_seed=0)
     parser.add_argument(
-        "--list", action="store_true",
-        help="print every registered component of every kind and exit",
-    )
-    parser.add_argument(
-        "--workloads", type=_csv, default=("stencil", "allreduce"),
+        "--workloads", type=csv, default=("stencil", "allreduce"),
         help=f"comma-separated workload names (registered: {', '.join(available('workload'))})",
     )
     parser.add_argument(
-        "--backends", type=_csv, default=("sim",),
+        "--backends", type=csv, default=("sim",),
         help=f"comma-separated backends (registered: {', '.join(available('backend'))})",
     )
     parser.add_argument(
-        "--stores", type=_csv, default=("memory",),
+        "--stores", type=csv, default=("memory",),
         help=f"comma-separated stores (registered: {', '.join(available('store'))})",
     )
     parser.add_argument(
-        "--recoveries", type=_csv, default=("global", "localized"),
+        "--recoveries", type=csv, default=("global", "localized"),
         help=f"comma-separated protocols (registered: {', '.join(available('recovery'))})",
+    )
+    parser.add_argument(
+        "--delivery", default="reliable",
+        help=f"delivery mode every cell runs under "
+             f"(registered: {', '.join(available('delivery'))})",
     )
     parser.add_argument(
         "--rates", type=_floats, default=(2.0,), metavar="MEANS",
@@ -89,7 +94,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated checkpoint intervals: step counts and/or 'auto'",
     )
     parser.add_argument("--trials", type=int, default=4, help="seeded trials per cell")
-    parser.add_argument("--seed", type=int, default=0, help="campaign master seed")
     parser.add_argument("--nprocs", type=int, default=8, help="ranks per job")
     parser.add_argument(
         "--procs-per-node", type=int, default=2, help="ranks packed per node"
@@ -101,36 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N", help="max executor workers"
     )
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="run the tiny CI campaign grid (overrides the sweep options)",
-    )
-    parser.add_argument(
-        "--output", default=None, metavar="PATH", help="write the JSON report here"
-    )
-    parser.add_argument(
-        "--markdown", default=None, metavar="PATH",
-        help="write the markdown summary table here (always printed to stdout)",
-    )
-    parser.add_argument(
-        "--check-baseline", default=None, metavar="PATH",
-        help="compare against a baseline JSON report and exit 1 on regression",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=2.0,
-        help="tolerated overhead ratio against the baseline (default 2.0)",
-    )
-    parser.add_argument(
-        "--skip-invariants", action="store_true",
-        help="do not gate on the report invariants (debugging only)",
-    )
+    add_report_arguments(parser, regression_metric="overhead")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.list:
-        print(render_available())
+    if handle_list(args):
         return 0
     if args.quick:
         spec = quick_spec()
@@ -140,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
             backends=args.backends,
             stores=args.stores,
             recoveries=args.recoveries,
+            delivery=args.delivery,
             mean_failures=args.rates,
             intervals=args.intervals,
             trials=args.trials,
@@ -148,45 +130,17 @@ def main(argv: list[str] | None = None) -> int:
             procs_per_node=args.procs_per_node,
         )
     report = run_campaign(spec, executor=args.executor, max_workers=args.jobs)
-
-    markdown = render_markdown(report)
-    print(markdown, end="")
-    if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(report_json(report))
-        print(f"report written to {args.output}")
-    if args.markdown:
-        with open(args.markdown, "w") as fh:
-            fh.write(markdown)
-        print(f"summary written to {args.markdown}")
-
-    status = 0
-    if not args.skip_invariants:
-        violations = check_invariants(report)
-        for violation in violations:
-            print(f"INVARIANT: {violation}", file=sys.stderr)
-        if violations:
-            status = 1
-        else:
-            print("invariants hold (localized < global restored bytes; auto within 2x)")
-    if args.check_baseline:
-        import json
-
-        with open(args.check_baseline) as fh:
-            baseline = json.load(fh)
-        failures = check_against_baseline(
-            report, baseline, max_ratio=args.max_regression
-        )
-        for failure in failures:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            status = 1
-        else:
-            print(
-                f"baseline check passed against {args.check_baseline} "
-                f"(tolerance {args.max_regression:.1f}x)"
-            )
-    return status
+    write_outputs(args, render_markdown(report), report_json(report))
+    return run_gates(
+        args,
+        check_invariants=lambda: check_invariants(report),
+        invariants_message=(
+            "invariants hold (localized < global restored bytes; auto within 2x)"
+        ),
+        check_baseline=lambda baseline, ratio: check_against_baseline(
+            report, baseline, max_ratio=ratio
+        ),
+    )
 
 
 if __name__ == "__main__":

@@ -84,6 +84,10 @@ class CampaignSpec:
     backends: tuple[str, ...] = ("sim",)
     stores: tuple[str, ...] = ("memory",)
     recoveries: tuple[str, ...] = ("global", "localized")
+    #: Delivery mode every cell runs under (registry kind ``"delivery"``).
+    #: A single knob, not a sweep axis — the delivery × store comparison
+    #: harness is :mod:`repro.qos`.
+    delivery: str = "reliable"
     mean_failures: tuple[float, ...] = (2.0,)
     intervals: tuple[int | str, ...] = ("auto",)
     trials: int = 4
@@ -102,6 +106,7 @@ class CampaignSpec:
             ("backend", self.backends),
             ("store", self.stores),
             ("recovery", self.recoveries),
+            ("delivery", (self.delivery,)),
         ):
             known = available(kind)
             for name in names:
@@ -185,11 +190,14 @@ def _build_workload(spec: CampaignSpec, name: str) -> Workload:
     return make_workload(name, nprocs=spec.nprocs, **params)
 
 
-def _policy(cell: _Cell, rates: dict[int, float]) -> FaultTolerancePolicy:
+def _policy(
+    cell: _Cell, rates: dict[int, float], delivery: str = "reliable"
+) -> FaultTolerancePolicy:
     return FaultTolerancePolicy(
         interval=cell.interval,
         store=cell.store,
         recovery=cell.recovery,
+        delivery=delivery,
         failure_rates=rates or None,
     )
 
@@ -247,7 +255,7 @@ def _run_ft_free(args: tuple[CampaignSpec, _Cell, dict]) -> dict:
         else {}
     )
     ft_free = workload.run(
-        ft=_policy(cell, rates0),
+        ft=_policy(cell, rates0, spec.delivery),
         backend=cell.backend,
         procs_per_node=spec.procs_per_node,
         cost_model=_campaign_cost_model(),
@@ -280,7 +288,7 @@ def _run_trial(args: tuple[CampaignSpec, _Cell, dict, int]) -> dict:
     }
     try:
         run = workload.run(
-            ft=_policy(cell, rates),
+            ft=_policy(cell, rates, spec.delivery),
             failures=schedule,
             backend=cell.backend,
             procs_per_node=spec.procs_per_node,

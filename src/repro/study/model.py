@@ -43,6 +43,7 @@ __all__ = [
     "REPLAY_COST_FRACTION",
     "checkpoint_seconds",
     "restart_seconds",
+    "level_capture_seconds",
     "system_failure_rate",
     "optimal_interval_seconds",
     "predicted_overhead",
@@ -98,7 +99,11 @@ def checkpoint_seconds(
     * ``"disk"`` — one shared-bandwidth PFS write of the rank's snapshot with
       all ranks writing concurrently (the SCR-PFS baseline of §7);
     * ``"parity"`` — local copy + the rank's contribution to the group XOR
-      reduction + its ``1/k`` parity chunk being written (§3.3).
+      reduction + its ``1/k`` parity chunk being written (§3.3);
+    * ``"multilevel"`` — the base level's every-checkpoint cost (its default
+      base is the memory scheme); the rarer upper-level captures are
+      amortized separately by
+      :meth:`IntervalModel.multilevel_intervals`, not paid per checkpoint.
     """
     if bytes_per_rank < 0:
         raise StudyError("bytes_per_rank must be non-negative")
@@ -106,7 +111,7 @@ def checkpoint_seconds(
         raise StudyError("nprocs must be at least 1")
     costs = cost_model
     nbytes = int(bytes_per_rank)
-    if store == "memory":
+    if store in ("memory", "multilevel"):
         place = (
             costs.local_copy(nbytes)
             + costs.remote_transfer(nbytes)
@@ -147,7 +152,9 @@ def restart_seconds(
         raise StudyError("bytes_per_rank must be non-negative")
     costs = cost_model
     nbytes = int(bytes_per_rank)
-    if store == "memory":
+    if store in ("memory", "multilevel"):
+        # The multilevel common case restores from its base level; upper-level
+        # fetches are rarer and priced like the disk/parity stores they mirror.
         fetch = costs.remote_transfer(nbytes)
     elif store == "disk":
         fetch = costs.pfs_read(nbytes)
@@ -160,6 +167,36 @@ def restart_seconds(
             f"modelled stores are: {known}"
         )
     return fetch + costs.barrier(nprocs)
+
+
+def level_capture_seconds(
+    kind: str,
+    *,
+    bytes_per_rank: int,
+    nprocs: int,
+    cost_model: CostModel,
+    dirty_fraction: float = 1.0,
+) -> float:
+    """Analytic cost of one upper-level *incremental* capture (§5).
+
+    A :class:`~repro.ft.stores.MultiLevelStore` upper level ships only the
+    bytes dirtied since its last capture; ``dirty_fraction`` scales the
+    per-rank footprint accordingly (``1.0`` = assume everything changed — the
+    conservative default when no measurement exists).  ``"parity"``-class
+    levels pay a cross-domain transfer, ``"disk"``-class levels a
+    shared-bandwidth PFS write.
+    """
+    if not 0.0 < dirty_fraction <= 1.0:
+        raise StudyError("dirty_fraction must be in (0, 1]")
+    nbytes = max(1, int(bytes_per_rank * dirty_fraction))
+    if kind == "parity":
+        return cost_model.remote_transfer(nbytes)
+    if kind == "disk":
+        return cost_model.pfs_write(nbytes, concurrent_writers=nprocs)
+    raise StudyError(
+        f"no analytic capture-cost model for level kind {kind!r}; "
+        f"modelled kinds are: 'parity', 'disk'"
+    )
 
 
 def optimal_interval_seconds(checkpoint_s: float, mtbf_s: float) -> float:
@@ -305,6 +342,69 @@ class IntervalModel:
         if max_steps is not None:
             steps = min(steps, max(1, max_steps))
         return steps
+
+    def multilevel_intervals(
+        self,
+        kinds: Sequence[str] = ("parity", "disk"),
+        *,
+        level_rates: Sequence[float] | None = None,
+        dirty_fraction: float = 1.0,
+    ) -> list[int | None]:
+        """Per-level capture cadences — the multi-level optimum of §5–§7.
+
+        Extends Young/Daly level by level: upper level ``j`` (guarding the
+        failures its base cannot survive) has its own capture cost ``C_j``
+        (:func:`level_capture_seconds`, scaled by ``dirty_fraction``) and its
+        own guarded rate ``λ_j``, giving ``τ_j = sqrt(2·C_j·M_j)``; the
+        cadence is ``n_j = round(τ_j / τ_0)`` base checkpoints, at least 1.
+
+        ``level_rates`` gives ``λ_j`` per upper level explicitly; by default
+        the model's :attr:`rates_per_level` are assigned in ascending FDH
+        order — the base absorbs the lowest level, each upper level guards
+        the next one up, the last absorbs every remaining level.  A level
+        with rate 0 (nothing to guard) gets cadence ``None``: capture once
+        (the seeding full image) and never refresh.  Feed the result to
+        :meth:`repro.ft.stores.MultiLevelStore.set_level_intervals`
+        (mapping ``None`` to "leave the default").
+        """
+        if level_rates is not None:
+            if len(level_rates) != len(kinds):
+                raise StudyError(
+                    f"expected {len(kinds)} level rates, got {len(level_rates)}"
+                )
+            rates = [float(rate) for rate in level_rates]
+        else:
+            by_level = [
+                self.rates_per_level[lvl]
+                for lvl in sorted(self.rates_per_level)
+            ]
+            guarded = by_level[1:]  # the base level absorbs the lowest
+            rates = []
+            for idx in range(len(kinds)):
+                if idx == len(kinds) - 1:
+                    rates.append(sum(guarded[idx:]))
+                elif idx < len(guarded):
+                    rates.append(guarded[idx])
+                else:
+                    rates.append(0.0)
+        tau_base = self.optimal_interval_seconds()
+        cadences: list[int | None] = []
+        for kind, rate in zip(kinds, rates):
+            if rate < 0:
+                raise StudyError("level failure rates must be non-negative")
+            if rate == 0.0 or math.isinf(tau_base):
+                cadences.append(None)
+                continue
+            capture = level_capture_seconds(
+                kind,
+                bytes_per_rank=self.bytes_per_rank,
+                nprocs=self.nprocs,
+                cost_model=self.cost_model,
+                dirty_fraction=dirty_fraction,
+            )
+            tau = optimal_interval_seconds(capture, 1.0 / rate)
+            cadences.append(max(1, round(tau / tau_base)))
+        return cadences
 
     def predicted_overhead(self, interval_steps: int | None, step_seconds: float) -> float:
         """Predicted overhead fraction of checkpointing every ``interval_steps``.

@@ -125,6 +125,25 @@ class Workload(abc.ABC):
         h.update(arr.tobytes())
         return h.hexdigest()
 
+    def result_quality(self, result: np.ndarray, reference: np.ndarray) -> float:
+        """How close ``result`` is to the failure-free ``reference``, in [0, 1].
+
+        Bit-exact results (the digest test campaigns use) score exactly
+        ``1.0`` — reliable delivery with rollback recovery must land here.
+        Anything else scores by normalized L1 distance,
+        ``1 − ‖result − reference‖₁ / (‖reference‖₁ + ε)``, floored at 0 —
+        the *quality* axis of the :mod:`repro.qos` trade-off, where
+        best-effort delivery trades exactness for makespan.
+        """
+        if self.digest(result) == self.digest(reference):
+            return 1.0
+        a = np.asarray(result, dtype=np.float64).ravel()
+        b = np.asarray(reference, dtype=np.float64).ravel()
+        if a.shape != b.shape:
+            return 0.0
+        denom = float(np.abs(b).sum()) + 1e-12
+        return max(0.0, 1.0 - float(np.abs(a - b).sum()) / denom)
+
     def bytes_per_rank(self) -> int:
         """Per-rank window footprint in bytes — the analytic model's ``B``.
 

@@ -2,8 +2,25 @@
 
 import multiprocessing
 import os
+import tempfile
 
 import pytest
+
+
+def _ckpt_scratch_dirs():
+    """``repro-ckpt-*`` scratch directories currently present in the tmpdir.
+
+    :class:`~repro.ft.stores.DiskStore` creates one per bound store and must
+    remove it on ``close()`` — even when the session tears down after a failed
+    restore.  A survivor here is a leak that would accumulate across CI runs.
+    """
+    root = tempfile.gettempdir()
+    try:
+        return {
+            name for name in os.listdir(root) if name.startswith("repro-ckpt-")
+        }
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return None
 
 
 def _shm_segments():
@@ -31,6 +48,7 @@ def proc_hygiene():
     test body, so a failing assertion here names the leaking test directly.
     """
     before = _shm_segments()
+    scratch_before = _ckpt_scratch_dirs()
     yield
     # Reap zombies first: a SIGKILLed child stays in active_children() until
     # someone joins it, which is bookkeeping, not a leak.
@@ -42,4 +60,10 @@ def proc_hygiene():
     if before is not None and after is not None:
         assert after - before == set(), (
             f"leaked shared-memory segments: {sorted(after - before)}"
+        )
+    scratch_after = _ckpt_scratch_dirs()
+    if scratch_before is not None and scratch_after is not None:
+        assert scratch_after - scratch_before == set(), (
+            "leaked DiskStore scratch directories: "
+            f"{sorted(scratch_after - scratch_before)}"
         )

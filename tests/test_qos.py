@@ -1,0 +1,308 @@
+"""QoS subsystem: delivery modes, multi-level checkpointing, the comparison engine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, QosError
+from repro.ft import build_ft_stack, make_store
+from repro.ft.stores import MultiLevelStore
+from repro.qos.delivery import BestEffort, QosMetrics, Reliable, make_delivery
+from repro.qos.engine import (
+    QosSpec,
+    _plan_seed,
+    check_invariants,
+    report_json,
+    run_qos,
+)
+from repro.rma import RmaRuntime
+from repro.simulator import Cluster
+from repro.simulator.costs import cray_xe6_like
+from repro.stats import latency_percentiles
+from repro.study.model import IntervalModel, level_capture_seconds
+
+
+def _runtime(nprocs=8, procs_per_node=2):
+    return RmaRuntime(Cluster.simple(nprocs, procs_per_node=procs_per_node))
+
+
+# ---------------------------------------------------------------------------
+# QosMetrics — counting and serialization
+# ---------------------------------------------------------------------------
+
+
+def test_qos_metrics_round_trips_through_dict():
+    metrics = QosMetrics()
+    metrics.count("dropped_puts", 3)
+    metrics.count("dropped_puts", 3, 2)
+    metrics.count("stale_reads", 0)
+    metrics.count("repairs", 5)
+    payload = metrics.to_dict()
+    # JSON-serializable as-is (string rank keys), and exact round trip.
+    restored = QosMetrics.from_dict(json.loads(json.dumps(payload)))
+    assert restored == metrics
+    assert restored.total("dropped_puts") == 3
+    assert restored.tolerated_ops == 4
+
+
+def test_qos_metrics_rejects_unknown_events():
+    metrics = QosMetrics()
+    with pytest.raises(QosError, match="unknown qos event"):
+        metrics.count("dropped_everything", 0)
+    with pytest.raises(QosError, match="unknown qos event"):
+        metrics.total("dropped_everything")
+    with pytest.raises(QosError, match="unknown qos metric fields"):
+        QosMetrics.from_dict({"dropped_everything": {}})
+
+
+def test_delivery_mode_binds_to_exactly_one_job():
+    mode = BestEffort(seed=7)
+    first = _runtime()
+    mode.bind(first, None)
+    mode.bind(first, None)  # same job again is fine
+    with pytest.raises(QosError, match="construct a fresh instance"):
+        mode.bind(_runtime(), None)
+
+
+def test_make_delivery_resolves_names_and_defaults():
+    assert isinstance(make_delivery(None), Reliable)
+    assert isinstance(make_delivery("best_effort"), BestEffort)
+    with pytest.raises(QosError, match="'best_effort'.*'reliable'"):
+        make_delivery("at_most_once")
+
+
+def test_best_effort_entropy_is_deterministic():
+    a, b = BestEffort(seed=11), BestEffort(seed=11)
+    coords = [(0, 4, 0), (3, 4, 1), (7, 9, 5)]
+    assert [a._entropy(*c) for c in coords] == [b._entropy(*c) for c in coords]
+    assert all(0.0 <= a._entropy(*c) < 1.0 for c in coords)
+
+
+# ---------------------------------------------------------------------------
+# Order statistics — the all-equal edge (empty/single/NaN live in test_serve)
+# ---------------------------------------------------------------------------
+
+
+def test_latency_percentiles_all_equal_samples():
+    assert latency_percentiles([2.5] * 40) == {"p50": 2.5, "p95": 2.5, "p99": 2.5}
+
+
+# ---------------------------------------------------------------------------
+# ActionLog dirty-region tracking
+# ---------------------------------------------------------------------------
+
+
+def test_action_log_merges_dirty_regions_and_truncate_clears():
+    rt = _runtime()
+    stack = build_ft_stack(rt, store="memory")
+    log = stack.log
+    rt.win_allocate("w", 64)
+    rt.put(0, 1, "w", 4, np.ones(4))
+    rt.put(0, 1, "w", 6, np.ones(4))  # overlaps [4,8) -> merges to (4, 6)
+    rt.put(2, 1, "w", 32, np.ones(2))  # disjoint span
+    rt.flush_all(0)
+    rt.flush_all(2)
+    regions = log.dirty_regions()
+    assert regions[(1, "w")] == [(4, 6), (32, 2)]
+    log.truncate()
+    assert log.dirty_regions() == {}
+    stack.uninstall(rt)
+
+
+# ---------------------------------------------------------------------------
+# MultiLevelStore — construction, incremental capture, recovery reach
+# ---------------------------------------------------------------------------
+
+
+def test_multilevel_store_registered_and_validated():
+    store = make_store("multilevel")
+    assert isinstance(store, MultiLevelStore)
+    assert [
+        (lvl.kind, lvl.every) for lvl in store.levels
+    ] == list(MultiLevelStore.DEFAULT_LEVELS)
+    with pytest.raises(CheckpointError, match="do not nest"):
+        MultiLevelStore(base="multilevel")
+    with pytest.raises(CheckpointError, match="level kind"):
+        MultiLevelStore(levels=(("tape", 2),))
+    with pytest.raises(CheckpointError, match="cadence"):
+        MultiLevelStore(levels=(("parity", 0),))
+
+
+def test_multilevel_incremental_capture_moves_only_dirty_bytes():
+    rt = _runtime()
+    stack = build_ft_stack(rt, store=MultiLevelStore(levels=(("parity", 1),)))
+    rt.win_allocate("w", 64)
+    for r in range(8):
+        rt.local(r, "w")[:] = float(r)
+    stack.checkpointer.checkpoint(tag=0)  # first capture seeds full mirrors
+    m = rt.cluster.metrics
+    full_image = 8 * 64 * 8
+    assert m.get("ft.multilevel_moved_bytes") == full_image
+    assert m.get("ft.multilevel_full_bytes") == full_image
+    rt.put(0, 1, "w", 8, np.full(4, 99.0))
+    rt.flush_all(0)
+    stack.checkpointer.checkpoint(tag=1)
+    assert m.get("ft.multilevel_moved_bytes") == full_image + 4 * 8
+    # Direct local writes bypass the action log; the content-diff backstop
+    # still ships them, keeping the mirror bit-exact.
+    rt.local(5, "w")[3] = -7.0
+    stack.checkpointer.checkpoint(tag=2)
+    assert m.get("ft.multilevel_moved_bytes") == full_image + 4 * 8 + 8
+    stack.uninstall(rt)
+
+
+def test_multilevel_upper_level_survives_rank_and_buddy_loss():
+    rt = _runtime()
+    stack = build_ft_stack(rt, store="multilevel")
+    store = stack.store
+    rt.win_allocate("w", 16)
+    for r in range(8):
+        rt.local(r, "w")[:] = 10.0 + r
+    stack.checkpointer.checkpoint(tag=0)
+    buddy = store.buddies[0]
+    rt.cluster.fail_rank(0)
+    rt.cluster.fail_rank(buddy)
+    rt.observe_failures()
+    version = store.latest()
+    assert not store.base.available(version, 0)
+    assert store.available(version, 0)
+    payload = store.fetch(version, 0)
+    assert payload.source == "multilevel-parity"
+    outcome = stack.recovery.recover()
+    assert outcome.tag == 0
+    for r in range(8):
+        assert np.array_equal(rt.local(r, "w"), np.full(16, 10.0 + r))
+    stack.uninstall(rt)
+
+
+def test_multilevel_archive_extends_restore_reach_past_eviction():
+    rt = _runtime()
+    stack = build_ft_stack(
+        rt, store=MultiLevelStore(keep_versions=1, levels=(("disk", 4),))
+    )
+    store = stack.store
+    rt.win_allocate("w", 8)
+    for r in range(8):
+        rt.local(r, "w")[:] = 1.0
+    stack.checkpointer.checkpoint(tag="captured")
+    for r in range(8):
+        rt.local(r, "w")[:] = 2.0
+    stack.checkpointer.checkpoint(tag="live")  # evicts v0 into the archive
+    assert [v.tag for v in store.versions] == ["live"]
+    assert list(store.archived) == [0]
+    buddy = store.buddies[2]
+    rt.cluster.fail_rank(2)
+    rt.cluster.fail_rank(buddy)
+    rt.observe_failures()
+    usable = store.latest_usable(list(range(8)))
+    assert usable is not None and usable.tag == "captured"
+    payload = store.fetch(usable, 2)
+    assert payload.source == "multilevel-disk"
+    assert np.array_equal(payload.windows["w"], np.full(8, 1.0))
+    stack.uninstall(rt)
+
+
+# ---------------------------------------------------------------------------
+# Interval model — per-level pricing and cadences
+# ---------------------------------------------------------------------------
+
+
+def test_level_capture_seconds_prices_kinds_and_validates():
+    costs = cray_xe6_like()
+    parity = level_capture_seconds(
+        "parity", bytes_per_rank=1 << 20, nprocs=8, cost_model=costs
+    )
+    disk = level_capture_seconds(
+        "disk", bytes_per_rank=1 << 20, nprocs=8, cost_model=costs
+    )
+    assert 0 < parity < disk  # shared-PFS writes cost more than neighbor copies
+    dirty = level_capture_seconds(
+        "parity", bytes_per_rank=1 << 20, nprocs=8, cost_model=costs,
+        dirty_fraction=0.25,
+    )
+    assert dirty < parity
+    with pytest.raises(Exception):
+        level_capture_seconds(
+            "tape", bytes_per_rank=1 << 20, nprocs=8, cost_model=costs
+        )
+    with pytest.raises(Exception):
+        level_capture_seconds(
+            "parity", bytes_per_rank=1 << 20, nprocs=8, cost_model=costs,
+            dirty_fraction=0.0,
+        )
+
+
+def test_multilevel_intervals_assign_rates_in_fdh_order():
+    model = IntervalModel(
+        cost_model=cray_xe6_like(),
+        nprocs=8,
+        bytes_per_rank=1 << 20,
+        store="multilevel",
+        rates_per_level={1: 1e-3, 2: 1e-5},
+    )
+    cadences = model.multilevel_intervals(("parity", "disk"))
+    assert len(cadences) == 2
+    # The frequent node-level rate is absorbed by the base store; the parity
+    # level guards the rarer blade-level rate, the disk level the remainder.
+    assert cadences[0] is not None and cadences[0] >= 1
+    # Rarer upper-level failures mean (weakly) sparser captures.
+    assert cadences[1] is None or cadences[1] >= cadences[0]
+
+
+def test_multilevel_intervals_failure_free_is_none():
+    model = IntervalModel(
+        cost_model=cray_xe6_like(),
+        nprocs=8,
+        bytes_per_rank=1 << 20,
+        store="multilevel",
+        rates_per_level={},
+    )
+    assert model.multilevel_intervals(("parity", "disk")) == [None, None]
+
+
+# ---------------------------------------------------------------------------
+# Comparison engine — spec validation, shared plans, invariant gates
+# ---------------------------------------------------------------------------
+
+
+def test_qos_spec_validates_axes_and_parameters():
+    with pytest.raises(QosError, match="unknown delivery"):
+        QosSpec(deliveries=("telepathy",))
+    with pytest.raises(QosError, match="unknown store"):
+        QosSpec(stores=("tape",))
+    with pytest.raises(QosError, match="axis.*empty"):
+        QosSpec(backends=())
+    with pytest.raises(QosError, match="at least one injected kill"):
+        QosSpec(kills=0)
+    with pytest.raises(QosError, match="stale_fraction"):
+        QosSpec(stale_fraction=1.5)
+
+
+def test_plan_seed_depends_only_on_master_seed_and_trial():
+    a = QosSpec(seed=3, stores=("memory",))
+    b = QosSpec(seed=3, stores=("memory", "multilevel"))
+    assert _plan_seed(a, 0) == _plan_seed(b, 0)
+    assert _plan_seed(a, 0) != _plan_seed(a, 1)
+    assert _plan_seed(QosSpec(seed=4, stores=("memory",)), 0) != _plan_seed(a, 0)
+
+
+def test_run_qos_trade_off_invariants_hold_on_sim():
+    spec = QosSpec(
+        backends=("sim",),
+        trials=1,
+        interval=3,
+        workload_params={"slots": 16, "updates_per_step": 4, "steps": 12},
+    )
+    report = run_qos(spec, executor="serial")
+    assert check_invariants(report) == []
+    cells = report["cells"]
+    reliable = cells["sim/memory/reliable"]
+    tolerant = cells["sim/memory/best_effort"]
+    assert reliable["min_quality"] == 1.0
+    assert tolerant["mean_elapsed_s"] < reliable["mean_elapsed_s"]
+    assert tolerant["tolerated_ops"] > 0
+    multilevel = cells["sim/multilevel/reliable"]
+    assert 0 < multilevel["multilevel_moved_bytes"] < multilevel["multilevel_full_bytes"]
+    # Canonical serialization: a re-run reproduces the report byte for byte.
+    assert report_json(run_qos(spec, executor="serial")) == report_json(report)

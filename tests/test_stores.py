@@ -132,6 +132,29 @@ def test_disk_store_close_removes_owned_scratch_directory():
     store.close()  # idempotent
 
 
+def test_disk_store_scratch_removed_even_after_failed_restore():
+    # Corrupting the spill makes the restore raise mid-recovery; teardown
+    # must still remove the owned scratch directory (no tmpdir leak).
+    runtime = _runtime()
+    stack = _stack(runtime, store="disk")
+    store = stack.store
+    runtime.win_allocate("w", 4)
+    for rank in range(8):
+        runtime.local(rank, "w")[:] = float(rank)
+    stack.checkpointer.checkpoint(tag=0)
+    directory = store.directory
+    assert directory is not None and directory.exists()
+    for path in directory.glob("v*_r0_*.npy"):
+        path.write_bytes(b"not a numpy file")
+    runtime.cluster.fail_rank(0)
+    runtime.cluster.fail_rank(1)  # buddy too: only the disk spill remains
+    runtime.observe_failures()
+    with pytest.raises(Exception):
+        stack.recovery.recover()
+    stack.uninstall(runtime)
+    assert not directory.exists()
+
+
 # ---------------------------------------------------------------------------
 # ParityStore — 1 + 1/k overhead, XOR reconstruction, group-loss limits
 # ---------------------------------------------------------------------------

@@ -37,8 +37,9 @@ from repro.study.model import checkpoint_seconds, restart_seconds, system_failur
 # ----------------------------------------------------------------------
 def test_available_lists_every_seam():
     assert available("workload") == ("allreduce", "kv", "kv_service", "stencil")
-    assert available("store") == ("disk", "memory", "parity")
+    assert available("store") == ("disk", "memory", "multilevel", "parity")
     assert available("recovery") == ("degraded", "global", "localized")
+    assert available("delivery") == ("best_effort", "reliable")
     expected_backends = (
         ("proc", "sim", "vector") if repro.proc_available() else ("sim", "vector")
     )
