@@ -47,6 +47,8 @@ from repro.rma.runtime import RmaRuntime
 from repro.rma.window import Window
 from repro.simulator.failures import FailureSchedule
 from repro.simulator.metrics import MetricsSnapshot
+from repro.trace.telemetry import Telemetry
+from repro.trace.tracer import Tracer, current_trace_hub, install_trace
 
 __all__ = ["Job", "JobReport", "SessionObserver", "launch"]
 
@@ -144,6 +146,7 @@ class Job:
         sync_each_step: bool = True,
         backend: str | Backend | None = None,
         watchdog: float | None = None,
+        trace: "Tracer | None" = None,
     ) -> None:
         if watchdog is not None and watchdog <= 0:
             raise ApiError("watchdog must be a positive number of seconds (or None)")
@@ -176,6 +179,28 @@ class Job:
         self._steps_executed = 0
         self._closed = False
         self._observers: list[SessionObserver] = []
+        # Tracing last, so the trace interceptor sits behind the FT stack's
+        # (replay suppression and action logging stay ahead of
+        # instrumentation).  An explicit tracer wins; otherwise an active
+        # trace hub (``tracing()`` block, e.g. an engine CLI's ``--trace``)
+        # supplies one.  With neither, tracing costs one hub check here.
+        self.trace: "Tracer | None" = None
+        if trace is None:
+            hub = current_trace_hub()
+            if hub is not None:
+                trace = hub.tracer()
+        if trace is not None:
+            install_trace(self, trace)
+
+    def telemetry(self) -> Telemetry:
+        """One queryable registry over every counter this job produced.
+
+        Folds the cluster ``MetricsRegistry`` (``rma.*``, ``ft.*``,
+        ``qos.*``, ``inject.*``) together with ``trace.*`` rollups from the
+        installed tracer (time in recovery, checkpoint bytes by store
+        level, kill counts) into a flat, glob-queryable namespace.
+        """
+        return Telemetry.from_job(self)
 
     def add_observer(self, observer: SessionObserver) -> None:
         """Attach a :class:`SessionObserver` to the step loop's lifecycle."""
@@ -666,6 +691,7 @@ def launch(
     sync_each_step: bool = True,
     backend: str | Backend | None = None,
     watchdog: float | None = None,
+    trace: Tracer | None = None,
 ) -> Job:
     """Launch an SPMD session of ``nprocs`` ranks on a simulated cluster.
 
@@ -704,6 +730,11 @@ def launch(
         ``None`` (the default) disables the step watchdog — the virtual-time
         backends cannot deadlock, and the real-process backend keeps its own
         per-dispatch ack timeout regardless.
+    trace:
+        A :class:`~repro.trace.Tracer` to install across every seam of the
+        job (RMA interceptor, session observer, store placement, delivery
+        decisions).  ``None`` still joins an active ``tracing()`` hub —
+        e.g. an engine CLI's ``--trace`` — and is free otherwise.
     """
     return Job(
         nprocs,
@@ -714,4 +745,5 @@ def launch(
         sync_each_step=sync_each_step,
         backend=backend,
         watchdog=watchdog,
+        trace=trace,
     )

@@ -42,6 +42,7 @@ from repro.cli import (
     csv,
     handle_list,
     run_gates,
+    trace_run,
     write_outputs,
 )
 from repro.registry import available
@@ -142,13 +143,14 @@ def main(argv: list[str] | None = None) -> int:
             nprocs=args.nprocs,
             procs_per_node=args.procs_per_node,
         )
-    results = run_comparison(
-        base,
-        countermeasures=args.countermeasures,
-        backends=args.backends,
-        stores=args.stores,
-        executor=args.executor,
-    )
+    with trace_run(args):
+        results = run_comparison(
+            base,
+            countermeasures=args.countermeasures,
+            backends=args.backends,
+            stores=args.stores,
+            executor=args.executor,
+        )
 
     json_text = report_json(results)
     write_outputs(args, render_markdown(results), json_text)

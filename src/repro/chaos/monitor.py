@@ -1,10 +1,10 @@
 """Chaos monitors — virtual-time failure/recovery transition detectors.
 
-A monitor is both a :class:`~repro.api.session.SessionObserver` (wired into
-the step loop via :meth:`~repro.api.session.Job.add_observer`) and a
-:class:`~repro.ft.inject.FaultInjector` listener (via
-:meth:`~repro.ft.inject.FaultInjector.add_listener`), so it sees both halves
-of every outage:
+A monitor consumes the trace event bus (``tracer.subscribe(monitor.consume)``
+— how the soak driver wires it) or, equivalently, plugs in directly as a
+:class:`~repro.api.session.SessionObserver` plus a
+:class:`~repro.ft.inject.FaultInjector` listener; either way it sees both
+halves of every outage:
 
 * ``failure_initiated`` — the injector lands a kill (SIGKILL on ``proc``,
   simulated fail-stop elsewhere), *before* the control plane notices;
@@ -85,36 +85,104 @@ class ChaosMonitor(SessionObserver):
         self.events.append({"type": type_, "t": t, **fields})
 
     # ------------------------------------------------------------------
-    # Injector listener
+    # Trace-bus consumer
+    # ------------------------------------------------------------------
+    def consume(self, event: dict) -> None:
+        """Trace-bus subscriber: drive the monitor from a job's tracer.
+
+        The soak driver wires this via ``tracer.subscribe(monitor.consume)``
+        instead of registering the monitor as its own observer/listener
+        stack — one instrumentation source, no double-counting.  Timestamps
+        come from the events themselves (the tracer stamps the same
+        ``cluster.elapsed()`` the direct hooks used to read), so the chaos
+        event stream is byte-identical to the pre-bus wiring.  Event types
+        outside the monitor's vocabulary are ignored.
+        """
+        kind = event["type"]
+        t = event["t"]
+        if kind == "kill_fired":
+            self._record_kill(
+                t,
+                rank=event["rank"],
+                victims=list(event["victims"]),
+                kill_kind=event["kind"],
+                after_ops=event["after_ops"],
+                real=bool(event.get("rt", {}).get("real", False)),
+            )
+        elif kind == "kill_skipped":
+            self._record_skip(t, rank=event["rank"], after_ops=event["after_ops"])
+        elif kind == "failure_detected":
+            self.on_failure_detected(event["rank"], event["step"], t)
+        elif kind == "recovery_started":
+            self.on_recovery_started(event["step"], t)
+        elif kind == "protocol_applied":
+            self._record_protocol(
+                t,
+                protocol=event["protocol"],
+                kind=event["kind"],
+                failed=list(event["failed"]),
+                restored_bytes=event["restored_bytes"],
+                fallback=event["fallback"],
+                resume_step=event["resume_step"],
+            )
+        elif kind == "recovery_completed":
+            self.on_recovery_completed(event["resume_step"], t)
+        elif kind == "step_completed":
+            self.on_step_completed(event["step"], t)
+
+    # ------------------------------------------------------------------
+    # Injector listener (direct wiring; the trace bus uses the _record_*
+    # handlers with the bus event's timestamp instead)
     # ------------------------------------------------------------------
     def on_kill(self, record: FiredKill) -> None:
         """Injector callback: a planned event resolved (fired or skipped)."""
         t = self._now()
         if record.skipped:
-            self.emit(
-                "failure_skipped", t,
-                rank=record.event.rank, after_ops=record.event.after_ops,
+            self._record_skip(
+                t, rank=record.event.rank, after_ops=record.event.after_ops
             )
             return
-        self.emit(
-            "failure_initiated", t,
+        self._record_kill(
+            t,
             rank=record.event.rank,
             victims=list(record.victims),
-            kind=record.event.kind.value,
+            kill_kind=record.event.kind.value,
             after_ops=record.event.after_ops,
             real=record.real,
+        )
+
+    def _record_skip(self, t: float, *, rank: int, after_ops: int) -> None:
+        self.emit("failure_skipped", t, rank=rank, after_ops=after_ops)
+
+    def _record_kill(
+        self,
+        t: float,
+        *,
+        rank: int,
+        victims: list[int],
+        kill_kind: str,
+        after_ops: int,
+        real: bool,
+    ) -> None:
+        self.emit(
+            "failure_initiated", t,
+            rank=rank,
+            victims=list(victims),
+            kind=kill_kind,
+            after_ops=after_ops,
+            real=real,
         )
         if self._episode is None:
             self._episode = {
                 "initiated_t": t,
                 "detected_t": None,
                 "crash_step": None,
-                "victims": list(record.victims),
+                "victims": list(victims),
                 "kills": 1,
             }
         else:
             self._episode["kills"] += 1
-            for victim in record.victims:
+            for victim in victims:
                 if victim not in self._episode["victims"]:
                     self._episode["victims"].append(victim)
 
@@ -140,13 +208,34 @@ class ChaosMonitor(SessionObserver):
         self.emit("recovery_started", t, step=step)
 
     def on_protocol_applied(self, outcome, resume_step: int, t: float) -> None:
-        self.emit(
-            "protocol_applied", t,
+        self._record_protocol(
+            t,
             protocol=outcome.protocol,
             kind=outcome.kind,
             failed=list(outcome.failed),
             restored_bytes=outcome.restored_bytes,
             fallback=outcome.fallback,
+            resume_step=resume_step,
+        )
+
+    def _record_protocol(
+        self,
+        t: float,
+        *,
+        protocol: str,
+        kind: str,
+        failed: list[int],
+        restored_bytes: int,
+        fallback: bool,
+        resume_step: int,
+    ) -> None:
+        self.emit(
+            "protocol_applied", t,
+            protocol=protocol,
+            kind=kind,
+            failed=list(failed),
+            restored_bytes=restored_bytes,
+            fallback=fallback,
             resume_step=resume_step,
         )
 

@@ -47,6 +47,7 @@ from repro.registry import available, plural, register_kind, resolve_component
 from repro.simulator.costs import CostModel, cray_xe6_like
 from repro.study.model import IntervalModel
 from repro.study.workloads import Workload, make_workload
+from repro.trace.tracer import Tracer, current_trace_hub, trace_label
 
 __all__ = [
     "Countermeasure",
@@ -377,9 +378,10 @@ def run_soak(spec: SoakSpec, *, events_path: str | None = None) -> SoakResult:
         spec.workload, nprocs=spec.nprocs, **dict(spec.workload_params)
     )
     cost = scaled_cost_model(compression=spec.compression)
-    ops_per_round, round_seconds = calibrate_round(
-        workload, procs_per_node=spec.procs_per_node, cost_model=cost
-    )
+    with trace_label(f"{spec.cell_key}/probe"):
+        ops_per_round, round_seconds = calibrate_round(
+            workload, procs_per_node=spec.procs_per_node, cost_model=cost
+        )
     plan = build_plan(
         spec, ops_per_round=ops_per_round, steps_per_round=workload.steps
     )
@@ -390,6 +392,14 @@ def run_soak(spec: SoakSpec, *, events_path: str | None = None) -> SoakResult:
 
     aborted: str | None = None
     digest: str | None = None
+    # The monitor consumes the trace event bus rather than registering its
+    # own observer/listener stack: one tracer instruments the job (joining
+    # the run-wide hub when an engine CLI's ``--trace`` activated one) and
+    # the monitor subscribes.  Timestamps are the same ``cluster.elapsed()``
+    # the direct hooks carried, so the chaos event stream is unchanged.
+    with trace_label(spec.cell_key):
+        hub = current_trace_hub()
+        tracer = hub.tracer() if hub is not None else Tracer(detail="lifecycle")
     with launch(
         spec.nprocs,
         topology=Topology(procs_per_node=spec.procs_per_node, cost_model=cost),
@@ -399,10 +409,12 @@ def run_soak(spec: SoakSpec, *, events_path: str | None = None) -> SoakResult:
         sync_each_step=workload.sync_each_step,
         backend=spec.backend,
         watchdog=spec.watchdog,
+        trace=tracer,
     ) as job:
         workload.setup(job)
         bytes_per_rank = sum(w.nbytes_per_rank for w in job.runtime.windows.all())
         monitor.bind(job)
+        tracer.subscribe(monitor.consume)
         monitor.emit(
             "soak_started", 0.0,
             workload=spec.workload, backend=spec.backend, store=spec.store,
@@ -412,8 +424,6 @@ def run_soak(spec: SoakSpec, *, events_path: str | None = None) -> SoakResult:
             seed=spec.seed, nprocs=spec.nprocs,
         )
         injector = install_injector(job, plan)
-        injector.add_listener(monitor.on_kill)
-        job.add_observer(monitor)
         try:
             report = job.run(workload.kernel(), steps=total_steps)
         except (RecoveryError, CatastrophicFailure) as exc:

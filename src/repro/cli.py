@@ -15,7 +15,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 
 from repro.registry import render_available
 
@@ -24,6 +25,7 @@ __all__ = [
     "add_common_arguments",
     "add_report_arguments",
     "handle_list",
+    "trace_run",
     "write_outputs",
     "run_gates",
 ]
@@ -54,6 +56,31 @@ def add_common_arguments(parser: argparse.ArgumentParser, *, default_seed: int) 
         "--seed", type=int, default=default_seed,
         help=f"master seed for every stochastic choice (default {default_seed})",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="dump a full-run virtual-time trace (canonical JSONL; inspect "
+             "with `python -m repro.trace`)",
+    )
+
+
+@contextmanager
+def trace_run(args: argparse.Namespace) -> Iterator[None]:
+    """Activate a run-wide trace hub when ``--trace PATH`` was given.
+
+    Engines wrap their run call in this context; every session they launch
+    inside joins the hub (labelled by comparison cell), and the merged
+    trace is written — atomically, even when the run raises — on exit.
+    Without ``--trace`` this is a no-op.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from repro.trace.tracer import tracing
+
+    with tracing(path=path):
+        yield
+    print(f"trace written to {path}")
 
 
 def add_report_arguments(

@@ -233,3 +233,15 @@ class QosError(ReproError):
 
     Raised for unknown delivery-mode names, invalid comparison
     specifications and malformed quality/robustness/speed reports."""
+
+
+# ---------------------------------------------------------------------------
+# Tracing errors
+# ---------------------------------------------------------------------------
+
+
+class TraceError(ReproError):
+    """Misuse of the tracing subsystem (:mod:`repro.trace`).
+
+    Raised for malformed trace events, schema violations in trace files,
+    double-activated trace hubs and tracers bound to more than one job."""

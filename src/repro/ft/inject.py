@@ -283,9 +283,16 @@ def install_injector(
     wait_timeout: float = 10.0,
     kill_on_respawn: int | None = None,
 ) -> FaultInjector:
-    """Attach a :class:`FaultInjector` for ``plan`` to a launched job."""
+    """Attach a :class:`FaultInjector` for ``plan`` to a launched job.
+
+    A traced job (``Job(trace=...)`` or an active ``tracing()`` hub) gets
+    the tracer wired as a kill listener automatically, so every fired and
+    skipped kill lands on the trace bus without engine plumbing.
+    """
     injector = FaultInjector(
         plan, wait_timeout=wait_timeout, kill_on_respawn=kill_on_respawn
     )
     job.runtime.add_interceptor(injector)
+    if getattr(job, "trace", None) is not None:
+        injector.add_listener(job.trace.on_kill)
     return injector

@@ -157,6 +157,24 @@ class CheckpointStore(abc.ABC):
         self.versions: list[CheckpointVersion] = []
         self._next_version = 0
         self._runtime: RmaRuntime | None = None
+        self._placement_listeners: list = []
+
+    def add_placement_listener(self, listener) -> None:
+        """Observe every placement: ``(store, level, rank, nbytes, incremental)``.
+
+        The trace bus registers here to attribute checkpoint bytes to store
+        levels; :meth:`_account` notifies listeners alongside the
+        ``ft.checkpoint_bytes`` metric, so both views always agree.
+        """
+        self._placement_listeners.append(listener)
+
+    def _account(
+        self, rank: int, nbytes: int, *, level: str, incremental: bool = False
+    ) -> None:
+        """Charge ``nbytes`` placed for ``rank`` at ``level`` (single funnel)."""
+        self.runtime.cluster.metrics.incr("ft.checkpoint_bytes", nbytes, rank=rank)
+        for listener in self._placement_listeners:
+            listener(self.name, level, rank, nbytes, incremental)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -311,16 +329,16 @@ class MemoryStore(CheckpointStore):
             copied_bytes = sum(int(data.nbytes) for data in windows.values())
             version.local[rank] = dict(windows)
             cluster.advance(rank, costs.local_copy(copied_bytes), kind="protocol")
+            self._account(rank, copied_bytes, level="local")
             if buddy in excised:
                 # The buddy was removed by a degraded continuation: only the
                 # local copy exists (and nothing is charged to dead memory).
-                cluster.metrics.incr("ft.checkpoint_bytes", copied_bytes, rank=rank)
                 continue
             version.remote[rank] = {name: data.copy() for name, data in windows.items()}
             # The transfer of the buddy copy, charged on both ends.
             cluster.advance(rank, costs.remote_transfer(copied_bytes), kind="protocol")
             cluster.advance(buddy, costs.local_copy(copied_bytes), kind="protocol")
-            cluster.metrics.incr("ft.checkpoint_bytes", 2 * copied_bytes, rank=rank)
+            self._account(rank, copied_bytes, level="buddy")
 
     def available(self, version: CheckpointVersion, rank: int) -> bool:
         return version.payload_for(rank) is not None
@@ -398,7 +416,7 @@ class DiskStore(CheckpointStore):
                 rank, costs.pfs_write(rank_bytes, concurrent_writers=nprocs),
                 kind="protocol",
             )
-            cluster.metrics.incr("ft.checkpoint_bytes", rank_bytes, rank=rank)
+            self._account(rank, rank_bytes, level="pfs")
 
     def available(self, version: CheckpointVersion, rank: int) -> bool:
         return (version.version, rank) in self._layout
@@ -505,7 +523,7 @@ class ParityStore(CheckpointStore):
             # group-wide XOR reduction (one transfer of its snapshot).
             cluster.advance(rank, costs.local_copy(rank_bytes), kind="protocol")
             cluster.advance(rank, costs.remote_transfer(rank_bytes), kind="protocol")
-            cluster.metrics.incr("ft.checkpoint_bytes", rank_bytes, rank=rank)
+            self._account(rank, rank_bytes, level="local")
         excised = self.runtime.excised
         for gidx, group in enumerate(self.groups):
             holders = self._holders(gidx)
@@ -530,9 +548,7 @@ class ParityStore(CheckpointStore):
                         holders[idx], costs.local_copy(int(chunk.nbytes)),
                         kind="protocol",
                     )
-                    cluster.metrics.incr(
-                        "ft.checkpoint_bytes", int(chunk.nbytes), rank=holders[idx]
-                    )
+                    self._account(holders[idx], int(chunk.nbytes), level="parity")
                 parity[(gidx, name)] = chunks
         self._parity[version.version] = parity
 
@@ -709,6 +725,12 @@ class MultiLevelStore(CheckpointStore):
         super().bind(runtime, level=level)
         self.base.bind(runtime, level=level)
 
+    def add_placement_listener(self, listener) -> None:
+        # The base store accounts its own placements; forward so listeners
+        # see every level of the hierarchy through one registration.
+        super().add_placement_listener(listener)
+        self.base.add_placement_listener(listener)
+
     def attach_log(self, log: Any) -> None:
         self._log = log
 
@@ -788,7 +810,9 @@ class MultiLevelStore(CheckpointStore):
             cluster.advance(rank, seconds, kind="protocol")
             cluster.metrics.incr("ft.multilevel_moved_bytes", moved, rank=rank)
             cluster.metrics.incr("ft.multilevel_full_bytes", full, rank=rank)
-            cluster.metrics.incr("ft.checkpoint_bytes", moved, rank=rank)
+            self._account(
+                rank, moved, level=lvl.kind, incremental=lvl.captures > 0
+            )
         # Drop mirrors of ranks excised since the previous capture.
         for rank in [r for r in lvl.mirrors if r not in snapshots]:
             del lvl.mirrors[rank]

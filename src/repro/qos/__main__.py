@@ -33,6 +33,7 @@ from repro.cli import (
     csv,
     handle_list,
     run_gates,
+    trace_run,
     write_outputs,
 )
 from repro.qos.engine import (
@@ -119,7 +120,8 @@ def main(argv: list[str] | None = None) -> int:
             interval=args.interval,
             stale_fraction=args.stale_fraction,
         )
-    report = run_qos(spec, executor=args.executor, max_workers=args.jobs)
+    with trace_run(args):
+        report = run_qos(spec, executor=args.executor, max_workers=args.jobs)
     write_outputs(args, render_markdown(report), report_json(report))
     return run_gates(
         args,

@@ -76,7 +76,14 @@ class QosMetrics:
     and ``stale_reads`` are attributed to the *origin* (the survivor whose
     operation was tolerated), ``discarded_inflight``/``suspended_steps``/
     ``repairs`` to the failed rank itself.
+
+    ``listener`` — when set (the trace bus does this via ``install_trace``)
+    — receives ``(event, rank, n)`` for every count, making this the single
+    delivery-decision hook; a class-level default rather than a dataclass
+    field so serialized metrics round-trip unchanged.
     """
+
+    listener = None
 
     dropped_puts: dict[int, int] = field(default_factory=dict)
     dropped_gets: dict[int, int] = field(default_factory=dict)
@@ -100,6 +107,8 @@ class QosMetrics:
             )
         counter = getattr(self, event)
         counter[rank] = counter.get(rank, 0) + n
+        if self.listener is not None:
+            self.listener(event, rank, n)
 
     def total(self, event: str) -> int:
         """Sum of ``event`` over all ranks."""

@@ -41,6 +41,7 @@ from repro.registry import available, plural
 from repro.rma.actions import OpKind
 from repro.simulator.costs import cray_xe6_like
 from repro.study.workloads import Workload, make_workload
+from repro.trace.tracer import trace_label
 
 __all__ = [
     "QosSpec",
@@ -225,11 +226,12 @@ def _run_reference(args: tuple[QosSpec, str]) -> dict:
     """The failure-free, unprotected reference run of one backend."""
     spec, backend = args
     workload = _build_workload(spec)
-    run = workload.run(
-        backend=backend,
-        procs_per_node=spec.procs_per_node,
-        cost_model=_cost_model(),
-    )
+    with trace_label(f"reference/{backend}"):
+        run = workload.run(
+            backend=backend,
+            procs_per_node=spec.procs_per_node,
+            cost_model=_cost_model(),
+        )
     return {
         "digest": run.digest,
         "elapsed_s": run.report.elapsed,
@@ -255,13 +257,16 @@ def _run_cell_trial(args: tuple[QosSpec, _Cell, int, int, np.ndarray]) -> dict:
         keep_versions=spec.keep_versions,
         delivery=delivery,
     )
-    run = workload.run(
-        ft=policy,
-        backend=cell.backend,
-        procs_per_node=spec.procs_per_node,
-        cost_model=_cost_model(),
-        kill_plan=plan,
-    )
+    # Label the session by cell and trial so a run-wide trace hub merges
+    # thread-executor runs in deterministic order (byte-identical to serial).
+    with trace_label(f"{cell.backend}/{cell.store}/{cell.delivery}/t{trial}"):
+        run = workload.run(
+            ft=policy,
+            backend=cell.backend,
+            procs_per_node=spec.procs_per_node,
+            cost_model=_cost_model(),
+            kill_plan=plan,
+        )
     totals = run.report.metrics.totals
     record = {
         "trial": trial,

@@ -33,6 +33,7 @@ from repro.cli import (
     csv,
     handle_list,
     run_gates,
+    trace_run,
     write_outputs,
 )
 from repro.registry import available
@@ -154,13 +155,14 @@ def main(argv: list[str] | None = None) -> int:
             kill_frac=args.kill_frac,
             kill_kind=args.kill_kind,
         )
-    results = run_slo_comparison(
-        base,
-        recoveries=args.recoveries,
-        backends=args.backends,
-        stores=args.stores,
-        executor=args.executor,
-    )
+    with trace_run(args):
+        results = run_slo_comparison(
+            base,
+            recoveries=args.recoveries,
+            backends=args.backends,
+            stores=args.stores,
+            executor=args.executor,
+        )
 
     json_text = report_json(results)
     write_outputs(args, render_markdown(results), json_text)

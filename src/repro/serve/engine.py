@@ -44,6 +44,7 @@ from repro.registry import available, plural
 from repro.serve.service import STATUS_UNSERVED, KvService
 from repro.serve.slo import WindowTracker, build_slo_report
 from repro.study.workloads import make_workload
+from repro.trace.tracer import Tracer, current_trace_hub, trace_label
 
 __all__ = ["ServeSpec", "ServeResult", "calibrate_service", "run_service", "run_slo_comparison"]
 
@@ -286,12 +287,20 @@ def run_service(spec: ServeSpec) -> ServeResult:
     """Run one serving cell to completion and reduce it to its SLO report."""
     service = spec.service()
     cost = scaled_cost_model(compression=spec.compression)
-    probe_ops, probe_elapsed = calibrate_service(service, spec)
+    with trace_label(f"{spec.cell_key}/probe"):
+        probe_ops, probe_elapsed = calibrate_service(service, spec)
     plan = build_plan(spec, ops_total=probe_ops)
 
+    # The tracker consumes the trace event bus rather than registering its
+    # own observer/listener stack (same timestamps, one instrumentation
+    # source); a run-wide hub — an engine CLI's ``--trace`` — collects the
+    # tracer into the merged trace under this cell's label.
     tracker = WindowTracker()
     aborted: str | None = None
     digest: str | None = None
+    with trace_label(spec.cell_key):
+        hub = current_trace_hub()
+        tracer = hub.tracer() if hub is not None else Tracer(detail="lifecycle")
     with launch(
         spec.nprocs,
         topology=Topology(procs_per_node=spec.procs_per_node, cost_model=cost),
@@ -302,12 +311,12 @@ def run_service(spec: ServeSpec) -> ServeResult:
         sync_each_step=service.sync_each_step,
         backend=spec.backend,
         watchdog=spec.watchdog,
+        trace=tracer,
     ) as job:
         service.setup(job)
         tracker.bind(job)
+        tracer.subscribe(tracker.consume)
         injector = install_injector(job, plan)
-        injector.add_listener(tracker.on_kill)
-        job.add_observer(tracker)
         try:
             report = job.run(service.kernel(), steps=service.steps)
         except (RecoveryError, CatastrophicFailure) as exc:
@@ -318,6 +327,18 @@ def run_service(spec: ServeSpec) -> ServeResult:
             digest = service.digest(service.collect(job))
 
     rows = _assemble_rows(service, probe_elapsed, tracker)
+    # Request lifecycles join the trace once the rows are reduced: arrival
+    # and completion are virtual instants, so the events are deterministic.
+    for row in rows:
+        completion = row["completion_t"]
+        tracer.emit(
+            "request_completed",
+            completion if completion is not None else row["arrival_t"],
+            **{key: row[key] for key in (
+                "rid", "frontend", "owner", "step", "op", "key",
+                "arrival_t", "completion_t", "latency_s", "status", "segment",
+            )},
+        )
     slo = build_slo_report(rows, tracker, total_s=report.elapsed)
     return ServeResult(
         spec=spec,

@@ -53,18 +53,82 @@ class WindowTracker(SessionObserver):
         """Attach to ``job``'s cluster for kill timestamps."""
         self._job = job
 
+    def consume(self, event: dict) -> None:
+        """Trace-bus subscriber: drive the tracker from a job's tracer.
+
+        The serve engine wires this via ``tracer.subscribe(tracker.consume)``
+        instead of registering the tracker as its own observer/listener
+        stack.  Timestamps come from the events themselves — the tracer
+        stamps the same ``cluster.elapsed()`` the direct hooks read — so the
+        windows and kill records match the pre-bus wiring exactly.  Event
+        types outside the tracker's vocabulary are ignored.
+        """
+        kind = event["type"]
+        t = event["t"]
+        if kind == "checkpoint_committed":
+            self.on_checkpoint(
+                event["step"], event["t_start"], event["t_end"], event["demand"]
+            )
+        elif kind == "failure_detected":
+            self.on_failure_detected(event["rank"], event["step"], t)
+        elif kind == "recovery_completed":
+            self.on_recovery_completed(event["resume_step"], t)
+        elif kind == "step_completed":
+            self.on_step_completed(event["step"], t)
+        elif kind == "kill_fired":
+            self._record_kill(
+                t,
+                rank=event["rank"],
+                kind=event["kind"],
+                after_ops=event["after_ops"],
+                victims=list(event["victims"]),
+                skipped=False,
+                real=bool(event.get("rt", {}).get("real", False)),
+            )
+        elif kind == "kill_skipped":
+            self._record_kill(
+                t,
+                rank=event["rank"],
+                kind=event["kind"],
+                after_ops=event["after_ops"],
+                victims=[],
+                skipped=True,
+                real=False,
+            )
+
     def on_kill(self, record: "FiredKill") -> None:
         """Injector listener: timestamp every planned kill as it resolves."""
         assert self._job is not None, "tracker used before bind(job)"
+        self._record_kill(
+            self._job.cluster.elapsed(),
+            rank=record.event.rank,
+            kind=record.event.kind.value,
+            after_ops=record.event.after_ops,
+            victims=list(record.victims),
+            skipped=record.skipped,
+            real=record.real,
+        )
+
+    def _record_kill(
+        self,
+        t: float,
+        *,
+        rank: int,
+        kind: str,
+        after_ops: int,
+        victims: list[int],
+        skipped: bool,
+        real: bool,
+    ) -> None:
         self.kills.append(
             {
-                "t": self._job.cluster.elapsed(),
-                "rank": record.event.rank,
-                "kind": record.event.kind.value,
-                "after_ops": record.event.after_ops,
-                "victims": list(record.victims),
-                "skipped": record.skipped,
-                "real": record.real,
+                "t": t,
+                "rank": rank,
+                "kind": kind,
+                "after_ops": after_ops,
+                "victims": victims,
+                "skipped": skipped,
+                "real": real,
             }
         )
 

@@ -31,6 +31,7 @@ from repro.cli import (
     csv,
     handle_list,
     run_gates,
+    trace_run,
     write_outputs,
 )
 from repro.registry import available
@@ -129,7 +130,8 @@ def main(argv: list[str] | None = None) -> int:
             nprocs=args.nprocs,
             procs_per_node=args.procs_per_node,
         )
-    report = run_campaign(spec, executor=args.executor, max_workers=args.jobs)
+    with trace_run(args):
+        report = run_campaign(spec, executor=args.executor, max_workers=args.jobs)
     write_outputs(args, render_markdown(report), report_json(report))
     return run_gates(
         args,

@@ -41,6 +41,7 @@ from repro.simulator.costs import cray_xe6_like
 from repro.simulator.failures import exponential_schedule
 from repro.study.model import IntervalModel
 from repro.study.workloads import Workload, make_workload
+from repro.trace.tracer import trace_label
 
 __all__ = [
     "CampaignSpec",
@@ -230,11 +231,12 @@ def _run_base(args: tuple[CampaignSpec, _Cell]) -> dict:
     the bit-exact reference digest and the overhead denominator."""
     spec, cell = args
     workload = _build_workload(spec, cell.workload)
-    base = workload.run(
-        backend=cell.backend,
-        procs_per_node=spec.procs_per_node,
-        cost_model=_campaign_cost_model(),
-    )
+    with trace_label(f"base/{cell.workload}/{cell.backend}"):
+        base = workload.run(
+            backend=cell.backend,
+            procs_per_node=spec.procs_per_node,
+            cost_model=_campaign_cost_model(),
+        )
     return {
         "reference_digest": base.digest,
         "base_elapsed_s": base.report.elapsed,
@@ -254,12 +256,13 @@ def _run_ft_free(args: tuple[CampaignSpec, _Cell, dict]) -> dict:
         if cell.mean_failures > 0
         else {}
     )
-    ft_free = workload.run(
-        ft=_policy(cell, rates0, spec.delivery),
-        backend=cell.backend,
-        procs_per_node=spec.procs_per_node,
-        cost_model=_campaign_cost_model(),
-    )
+    with trace_label(f"ft-free/{'/'.join(map(str, _ft_free_key(cell)))}"):
+        ft_free = workload.run(
+            ft=_policy(cell, rates0, spec.delivery),
+            backend=cell.backend,
+            procs_per_node=spec.procs_per_node,
+            cost_model=_campaign_cost_model(),
+        )
     horizon = ft_free.report.elapsed
     rates = {1: cell.mean_failures / horizon} if cell.mean_failures > 0 else {}
     return {
@@ -287,13 +290,16 @@ def _run_trial(args: tuple[CampaignSpec, _Cell, dict, int]) -> dict:
         "events": [[ev.time, ev.level, ev.index] for ev in schedule],
     }
     try:
-        run = workload.run(
-            ft=_policy(cell, rates, spec.delivery),
-            failures=schedule,
-            backend=cell.backend,
-            procs_per_node=spec.procs_per_node,
-            cost_model=_campaign_cost_model(),
-        )
+        # Label the session by cell and trial so a run-wide trace hub merges
+        # thread-executor runs in deterministic order (identical to serial).
+        with trace_label(f"{cell.key}/t{trial}"):
+            run = workload.run(
+                ft=_policy(cell, rates, spec.delivery),
+                failures=schedule,
+                backend=cell.backend,
+                procs_per_node=spec.procs_per_node,
+                cost_model=_campaign_cost_model(),
+            )
     except (FaultToleranceError, ProcessFailedError) as exc:
         # The configuration could not carry this fault load (rank + buddy
         # lost, no usable version, ...) — a legitimate campaign outcome.

@@ -1,0 +1,95 @@
+"""``python -m repro.trace`` — summarize, diff and export trace files.
+
+Subcommands:
+
+* ``summarize TRACE`` — span rollups (time-in-recovery, bytes by store
+  level, op histograms per rank) as a table, optionally as JSON.
+* ``diff LEFT RIGHT`` — first-divergence localization between two
+  traces; exits 1 when they diverge, printing the first divergent event
+  with its span context.
+* ``export TRACE -o OUT.json`` — Chrome-trace/Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import TraceError
+from repro.trace.diff import first_divergence, render_divergence
+from repro.trace.events import load_trace
+from repro.trace.export import to_chrome_trace
+from repro.trace.summary import render_summary, summarize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect deterministic run traces (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="span rollups for one trace")
+    p_sum.add_argument("trace", help="trace JSONL file")
+    p_sum.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the rollup as JSON",
+    )
+
+    p_diff = sub.add_parser("diff", help="localize the first divergent event")
+    p_diff.add_argument("left", help="reference trace JSONL file")
+    p_diff.add_argument("right", help="candidate trace JSONL file")
+    p_diff.add_argument(
+        "--context", type=int, default=3,
+        help="common-prefix events to show before the divergence (default 3)",
+    )
+
+    p_exp = sub.add_parser("export", help="Chrome-trace/Perfetto timeline")
+    p_exp.add_argument("trace", help="trace JSONL file")
+    p_exp.add_argument(
+        "--output", "-o", required=True, metavar="PATH",
+        help="where to write the Trace Event Format JSON",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            summary = summarize(load_trace(args.trace))
+            print(render_summary(summary))
+            if args.output:
+                with open(args.output, "w") as fh:
+                    json.dump(summary, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"summary written to {args.output}")
+            return 0
+        if args.command == "diff":
+            left = load_trace(args.left)
+            right = load_trace(args.right)
+            divergence = first_divergence(left, right, context=args.context)
+            if divergence is None:
+                print(f"traces are identical ({len(left)} events)")
+                return 0
+            print(render_divergence(divergence))
+            return 1
+        if args.command == "export":
+            document = to_chrome_trace(load_trace(args.trace))
+            with open(args.output, "w") as fh:
+                json.dump(document, fh)
+                fh.write("\n")
+            print(
+                f"{len(document['traceEvents'])} timeline events "
+                f"written to {args.output}"
+            )
+            return 0
+    except (TraceError, OSError) as exc:
+        print(f"TRACE: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

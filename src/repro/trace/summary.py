@@ -1,0 +1,128 @@
+"""Span rollups over a trace: the ``summarize`` half of the CLI.
+
+Aggregates a (possibly multi-job) event stream into the quantities a
+performance post-mortem starts from: time in recovery, checkpoint bytes
+by store level, op histograms per rank, kill and QoS decision counts,
+and serve request outcomes.  Everything is computed from the events
+alone, so the same rollup works on a live ``Tracer``, a loaded JSONL
+file, or a hub-merged comparison trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["render_summary", "summarize"]
+
+
+def summarize(events: list[dict]) -> dict:
+    """Roll a trace up into one nested summary dict (JSON-ready)."""
+    by_type = Counter(event["type"] for event in events)
+    ops_by_kind: Counter = Counter()
+    ops_by_rank: Counter = Counter()
+    sync_by_kind: Counter = Counter()
+    bytes_by_level: Counter = Counter()
+    qos_by_decision: Counter = Counter()
+    requests_by_status: Counter = Counter()
+    checkpoint_seconds = 0.0
+    recovery_seconds = 0.0
+    recovery_open: dict[str, float] = {}
+    for event in events:
+        type_ = event["type"]
+        if type_ == "op_completed":
+            ops_by_kind[event["kind"]] += 1
+            ops_by_rank[event["src"]] += 1
+        elif type_ == "sync_completed":
+            sync_by_kind[event["kind"]] += 1
+        elif type_ == "checkpoint_committed":
+            checkpoint_seconds += event["t_end"] - event["t_start"]
+        elif type_ == "checkpoint_stored":
+            bytes_by_level[event["level"]] += event["nbytes"]
+        elif type_ == "qos_decision":
+            qos_by_decision[event["decision"]] += event["n"]
+        elif type_ == "request_completed":
+            requests_by_status[event["status"]] += 1
+        elif type_ == "recovery_started":
+            recovery_open[event["job"]] = event["t"]
+        elif type_ == "recovery_completed":
+            started = recovery_open.pop(event["job"], None)
+            if started is not None:
+                recovery_seconds += event["t"] - started
+    return {
+        "events": len(events),
+        "jobs": by_type["job_started"],
+        "steps": by_type["step_completed"],
+        "kills": {
+            "fired": by_type["kill_fired"],
+            "skipped": by_type["kill_skipped"],
+        },
+        "checkpoints": {
+            "count": by_type["checkpoint_committed"],
+            "seconds": checkpoint_seconds,
+            "bytes_by_level": {
+                level: int(n) for level, n in sorted(bytes_by_level.items())
+            },
+        },
+        "recovery": {
+            "episodes": by_type["recovery_started"],
+            "completed": by_type["recovery_completed"],
+            "seconds": recovery_seconds,
+        },
+        "ops": {
+            "total": by_type["op_completed"],
+            "by_kind": {kind: int(n) for kind, n in sorted(ops_by_kind.items())},
+            "by_rank": {
+                str(rank): int(n) for rank, n in sorted(ops_by_rank.items())
+            },
+        },
+        "sync": {kind: int(n) for kind, n in sorted(sync_by_kind.items())},
+        "qos": {kind: int(n) for kind, n in sorted(qos_by_decision.items())},
+        "requests": {
+            "count": by_type["request_completed"],
+            "by_status": {
+                status: int(n) for status, n in sorted(requests_by_status.items())
+            },
+        },
+    }
+
+
+def _rows(summary: dict) -> list[tuple[str, str]]:
+    rows = [
+        ("events", f"{summary['events']}"),
+        ("jobs", f"{summary['jobs']}"),
+        ("steps", f"{summary['steps']}"),
+        ("kills fired / skipped", f"{summary['kills']['fired']} / {summary['kills']['skipped']}"),
+        ("checkpoints", f"{summary['checkpoints']['count']}"),
+        ("time in checkpoint", f"{summary['checkpoints']['seconds']:.3f} s"),
+        ("recovery episodes", f"{summary['recovery']['episodes']}"),
+        ("time in recovery", f"{summary['recovery']['seconds']:.3f} s"),
+        ("ops completed", f"{summary['ops']['total']}"),
+    ]
+    for level, nbytes in summary["checkpoints"]["bytes_by_level"].items():
+        rows.append((f"bytes @ {level}", f"{nbytes}"))
+    for kind, count in summary["ops"]["by_kind"].items():
+        rows.append((f"ops[{kind}]", f"{count}"))
+    for rank, count in summary["ops"]["by_rank"].items():
+        rows.append((f"ops @ rank {rank}", f"{count}"))
+    for kind, count in summary["sync"].items():
+        rows.append((f"sync[{kind}]", f"{count}"))
+    for decision, count in summary["qos"].items():
+        rows.append((f"qos[{decision}]", f"{count}"))
+    if summary["requests"]["count"]:
+        rows.append(("requests", f"{summary['requests']['count']}"))
+        for status, count in summary["requests"]["by_status"].items():
+            rows.append((f"requests[{status}]", f"{count}"))
+    return rows
+
+
+def render_summary(summary: dict) -> str:
+    """Render the rollup as a two-column markdown table."""
+    rows = _rows(summary)
+    width = max(len(name) for name, _ in rows)
+    lines = [
+        f"| {'metric'.ljust(width)} | value |",
+        f"|-{'-' * width}-|-------|",
+    ]
+    for name, value in rows:
+        lines.append(f"| {name.ljust(width)} | {value} |")
+    return "\n".join(lines)

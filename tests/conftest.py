@@ -23,6 +23,22 @@ def _ckpt_scratch_dirs():
         return None
 
 
+def _trace_staging_files():
+    """``repro-trace-*`` staging files currently present in the tmpdir.
+
+    :class:`~repro.trace.events.TraceWriter` stages next to its destination
+    and must either publish (atomic rename) or unlink on close — even when
+    the traced run aborts mid-step.  A survivor here is a leak.
+    """
+    root = tempfile.gettempdir()
+    try:
+        return {
+            name for name in os.listdir(root) if name.startswith("repro-trace-")
+        }
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return None
+
+
 def _shm_segments():
     """Names of POSIX shm segments currently visible (Linux: /dev/shm).
 
@@ -49,6 +65,7 @@ def proc_hygiene():
     """
     before = _shm_segments()
     scratch_before = _ckpt_scratch_dirs()
+    staging_before = _trace_staging_files()
     yield
     # Reap zombies first: a SIGKILLed child stays in active_children() until
     # someone joins it, which is bookkeeping, not a leak.
@@ -66,4 +83,10 @@ def proc_hygiene():
         assert scratch_after - scratch_before == set(), (
             "leaked DiskStore scratch directories: "
             f"{sorted(scratch_after - scratch_before)}"
+        )
+    staging_after = _trace_staging_files()
+    if staging_before is not None and staging_after is not None:
+        assert staging_after - staging_before == set(), (
+            "leaked trace staging files: "
+            f"{sorted(staging_after - staging_before)}"
         )

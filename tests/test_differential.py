@@ -25,6 +25,7 @@ from repro.backends.proc import proc_available
 from repro.errors import OpHandleError, ProcessFailedError, WatchdogError
 from repro.ft.inject import KillKind, KillPlan, install_injector
 from repro.study import make_workload
+from repro.trace import first_divergence, render_divergence, tracing
 
 pytestmark = pytest.mark.usefixtures("proc_hygiene")
 
@@ -98,12 +99,50 @@ def test_killed_run_matches_exception_injected_oracle(name, store, recovery, bac
     assert run.report.recoveries >= 1
     assert run.report.metrics.total("inject.kills") == 1
     # ...the result is bit-identical to the failure-free reference...
-    assert run.digest == reference_digest(name)
+    assert run.digest == reference_digest(name), (
+        f"{name}/{store}/{recovery} on {backend}: recovered digest diverged "
+        "from the failure-free reference — re-run both sides under "
+        "repro.trace.tracing() and localize the first divergent event with "
+        "`python -m repro.trace diff`"
+    )
     # ...and the recovery trajectory is comparable to the sim oracle.
     assert run.report.recoveries == oracle.report.recoveries
     assert run.report.steps_executed == oracle.report.steps_executed
     assert run.report.checkpoints == oracle.report.checkpoints
     assert run.report.localized_recoveries == oracle.report.localized_recoveries
+
+
+@pytest.mark.parametrize(
+    "backend", ["vector", pytest.param("proc", marks=PROC_SKIP)]
+)
+def test_killed_run_trace_matches_sim_event_for_event(backend):
+    """Stronger than digest parity: the *whole* canonical event stream agrees.
+
+    A digest comparison proves the final answer matched; tracing the same
+    killed cell on two backends and diffing proves every intermediate op,
+    checkpoint, kill and recovery decision happened at the same virtual time
+    in the same order.  When this breaks, the assertion message pinpoints the
+    first divergent event instead of just saying "digests differ".
+    """
+
+    def traced_events(on_backend):
+        params, kill, interval = CELLS["stencil"]
+        workload = make_workload("stencil", **params)
+        ft = repro.FaultTolerancePolicy(
+            interval=interval, store="memory", recovery="localized"
+        )
+        with tracing() as hub:
+            workload.run(
+                ft=ft, backend=on_backend, kill_plan=KillPlan.single(**kill)
+            )
+        return hub.events()
+
+    reference = traced_events("sim")
+    candidate = traced_events(backend)
+    divergence = first_divergence(reference, candidate)
+    assert divergence is None, (
+        f"sim vs {backend} traces diverge:\n{render_divergence(divergence)}"
+    )
 
 
 @pytest.mark.parametrize("backend", ["sim", pytest.param("proc", marks=PROC_SKIP)])
